@@ -1,0 +1,39 @@
+"""Throughput of the measurement-campaign substrates themselves.
+
+Not a paper artefact, but the number a downstream user cares about when
+scaling the reproduction up: samples generated per second on the vectorised
+path, regions per second on the event-driven path, and normality tests per
+second in the batch battery.
+"""
+
+import numpy as np
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import CampaignConfig
+from repro.stats.battery import NormalityBattery
+
+
+def test_vectorized_campaign_throughput(benchmark):
+    config = CampaignConfig(
+        application="minife", trials=1, processes=2, iterations=50, threads=48,
+        seed=1,
+    )
+    dataset = benchmark(run_campaign, config)
+    assert dataset.n_samples == 1 * 2 * 50 * 48
+
+
+def test_event_campaign_throughput(benchmark):
+    config = CampaignConfig(
+        application="miniqmc", trials=1, processes=1, iterations=10, threads=24,
+        seed=1, backend="event",
+    )
+    dataset = benchmark(run_campaign, config)
+    assert dataset.n_samples == 240
+    assert "start_ns" in dataset.columns
+
+
+def test_batch_normality_battery_throughput(benchmark, rng_seed=3):
+    groups = np.random.default_rng(rng_seed).normal(size=(2000, 48))
+    battery = NormalityBattery()
+    report = benchmark(battery.run, groups)
+    assert report.n_groups == 2000

@@ -1,0 +1,61 @@
+"""Figures 1 & 2 — the early-bird communication model and the potential overlap.
+
+Figure 1 illustrates partitions flowing to the receiver as their producing
+threads finish; Figure 2 shows the per-thread idle windows ("green boxes")
+that early-bird delivery could fill.  These benchmarks quantify both on
+arrival vectors measured from the benchmark-scale campaigns and assert the
+model's invariants:
+
+* early-bird completion never exceeds bulk completion,
+* the summed overlap windows equal the reclaimable time, and
+* the gain grows with the arrival spread (MiniQMC > MiniFE).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import AggregationLevel, aggregate
+from repro.core.earlybird import EarlyBirdModel
+from repro.core.reclaimable import reclaimable_time
+from repro.experiments.figures import figure1_earlybird_timeline, figure2_potential_overlap
+
+
+def _representative_arrivals(dataset):
+    """The process-iteration whose reclaimable time is the median one."""
+    grouped = aggregate(dataset, AggregationLevel.PROCESS_ITERATION)
+    reclaim = reclaimable_time(grouped.values)
+    index = int(np.argsort(reclaim)[len(reclaim) // 2])
+    return grouped.values[index]
+
+
+@pytest.mark.parametrize("application", ["minife", "minimd", "miniqmc"])
+def test_figure1_earlybird_timeline(benchmark, bench_datasets, application):
+    arrivals = _representative_arrivals(bench_datasets[application])
+    figure = benchmark(
+        figure1_earlybird_timeline, arrivals, buffer_bytes=8 * 1024 * 1024
+    )
+    assert figure["earlybird_completion_s"] <= figure["bulk_completion_s"] + 1e-12
+    assert figure["speedup"] >= 1.0 - 1e-9
+    assert len(figure["partition_delivery_s"]) == len(arrivals)
+
+
+@pytest.mark.parametrize("application", ["minife", "minimd", "miniqmc"])
+def test_figure2_potential_overlap(benchmark, bench_datasets, application):
+    arrivals = _representative_arrivals(bench_datasets[application])
+    figure = benchmark(figure2_potential_overlap, arrivals)
+    assert figure["total_overlap_s"] == pytest.approx(
+        reclaimable_time(arrivals)[0], rel=1e-9
+    )
+    assert np.all(figure["window_s"] >= 0.0)
+
+
+def test_overlap_gain_ordering_across_applications(bench_datasets):
+    """The wider the measured arrival distribution, the more communication the
+    early-bird model hides: MiniQMC ≫ MiniFE/MiniMD."""
+    model = EarlyBirdModel(buffer_bytes=8 * 1024 * 1024)
+    gains = {}
+    for name, dataset in bench_datasets.items():
+        arrivals = _representative_arrivals(dataset)
+        gains[name] = model.evaluate(arrivals).improvement_s
+    assert gains["miniqmc"] > gains["minife"]
+    assert gains["miniqmc"] > gains["minimd"]

@@ -1,0 +1,52 @@
+"""§4.1 (S2) — application-level and application-iteration-level normality.
+
+Paper claims:
+
+* At the application level (all samples pooled) every test rejects normality
+  for every application.
+* At the application-iteration level MiniFE and MiniMD reject for all 200
+  iterations; MiniQMC has a handful (8/200) of iterations that pass
+  D'Agostino only.
+
+At benchmark scale (2 trials × 2 processes) the application-iteration groups
+have 192 samples instead of 3840, so the assertion is the qualitative one:
+coarse aggregation rejects far more often than the process-iteration level,
+and MiniFE/MiniMD application-level pooling is always rejected.
+"""
+
+from repro.core.aggregation import AggregationLevel
+from repro.core.normality import NormalityStudy
+
+
+def _study_all_levels(dataset):
+    study = NormalityStudy(dataset)
+    study.level_result(AggregationLevel.APPLICATION)
+    study.level_result(AggregationLevel.APPLICATION_ITERATION)
+    study.level_result(AggregationLevel.PROCESS_ITERATION)
+    return study
+
+
+def test_section41_minife(benchmark, minife_ds):
+    study = benchmark(_study_all_levels, minife_ds)
+    assert study.application_rejects_normality()
+    passes = study.application_iteration_pass_counts()
+    assert max(passes.values()) <= 5  # essentially never normal when pooled
+
+
+def test_section41_minimd(benchmark, minimd_ds):
+    study = benchmark(_study_all_levels, minimd_ds)
+    assert study.application_rejects_normality()
+    # pooling across processes rejects more often than single process teams
+    pooled = study.application_iteration_pass_counts()["dagostino"] / 200.0
+    per_team = study.process_iteration_pass_rates()["dagostino"]
+    assert pooled < per_team
+
+
+def test_section41_miniqmc(benchmark, miniqmc_ds):
+    study = benchmark(_study_all_levels, miniqmc_ds)
+    rates = study.process_iteration_pass_rates()
+    assert min(rates.values()) > 0.85
+    # the coarse levels pool heterogeneous walker populations and therefore
+    # pass (much) less often than the per-process-iteration level
+    pooled = study.application_iteration_pass_counts()["shapiro_wilk"] / 200.0
+    assert pooled < rates["shapiro_wilk"]

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures from a
+*benchmark-scale* campaign: the full 48-thread teams and 200 application
+iterations (the dimensions the figures depend on) but 2 trials × 2 processes
+instead of 10 × 8, so the whole suite runs in minutes.  The campaign datasets
+are built once per session; the benchmarked functions are the analysis /
+generation steps.
+
+Every benchmark also *asserts the qualitative claim* the corresponding paper
+artefact makes before timing it, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction check.  Paper-scale numbers for EXPERIMENTS.md
+come from ``examples/paper_reproduction.py --scale paper``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer import ThreadTimingAnalyzer
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import CampaignConfig
+
+APPLICATIONS = ("minife", "minimd", "miniqmc")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> CampaignConfig:
+    return CampaignConfig.benchmark_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_datasets(bench_config):
+    """Benchmark-scale datasets for all three applications."""
+    datasets = {}
+    for name in APPLICATIONS:
+        datasets[name] = run_campaign(bench_config.for_application(name))
+    return datasets
+
+
+@pytest.fixture(scope="session")
+def bench_analyzers(bench_datasets):
+    """One analyzer per application (shared caches across benchmarks)."""
+    return {name: ThreadTimingAnalyzer(ds) for name, ds in bench_datasets.items()}
+
+
+@pytest.fixture(scope="session")
+def minife_ds(bench_datasets):
+    return bench_datasets["minife"]
+
+
+@pytest.fixture(scope="session")
+def minimd_ds(bench_datasets):
+    return bench_datasets["minimd"]
+
+
+@pytest.fixture(scope="session")
+def miniqmc_ds(bench_datasets):
+    return bench_datasets["miniqmc"]

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Thin wrapper around the ``repro-campaign`` CLI (``repro.experiments.runner``)
+with the three reproduction presets:
+
+* ``--scale smoke``      — seconds; sanity check of the pipeline.
+* ``--scale benchmark``  — a few minutes; full 48-thread teams, 200
+  iterations, 2 trials × 2 processes (what the pytest benchmarks use).
+* ``--scale paper``      — the paper's full §3.2 configuration
+  (10 trials × 8 processes × 200 iterations × 48 threads = 768 000 samples
+  per application); the numbers recorded in EXPERIMENTS.md come from this.
+
+Examples::
+
+    python examples/paper_reproduction.py --scale benchmark --output results/
+    python examples/paper_reproduction.py --scale paper --output results-paper/
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

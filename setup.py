@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools/pip lack
+the ``wheel`` package required by PEP 517 editable builds (pip then falls back
+to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""repro — reproduction of *Measuring Thread Timing to Assess the Feasibility of
+Early-bird Message Delivery* (Marts et al., ICPP 2023, arXiv:2304.11122).
+
+The package is organised as a stack of substrates with the paper's
+contribution (thread-timing instrumentation and analysis) on top:
+
+``repro.sim``
+    Deterministic discrete-event simulation engine.
+``repro.cluster``
+    Machine model: nodes, sockets, cores, per-core monotonic clocks and an
+    OS-noise model (the "Manzano" test platform of the paper is a preset).
+``repro.openmp``
+    Simulated OpenMP runtime: thread teams, loop schedules, barriers and
+    ``parallel for nowait`` regions.
+``repro.mpi``
+    Simulated MPI layer: communicators, point-to-point, collectives and
+    MPI-4.0-style partitioned communication on a LogGP network model.
+``repro.stats``
+    Batch-vectorised normality tests (D'Agostino K², Shapiro–Wilk,
+    Anderson–Darling) and distribution utilities, validated against SciPy.
+``repro.core``
+    The paper's contribution: region instrumentation, the
+    :class:`~repro.core.timing.TimingDataset`, aggregation levels, laggard and
+    reclaimable-time analysis, and the early-bird feasibility model.
+``repro.apps``
+    Proxy applications (MiniFE, MiniMD, MiniQMC) re-implemented as timed
+    kernels plus calibrated per-thread work/cost models.
+``repro.experiments``
+    Campaign runner and per-table/per-figure generators for the paper's
+    evaluation section.
+
+Quickstart
+----------
+
+>>> from repro import quick_campaign
+>>> from repro.core import ThreadTimingAnalyzer
+>>> ds = quick_campaign("minife", trials=1, processes=2, iterations=20)
+>>> report = ThreadTimingAnalyzer(ds).report()
+>>> 0.0 <= report.laggard_fraction <= 1.0
+True
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    "TimingDataset",
+    "TimingRecord",
+    "ThreadTimingAnalyzer",
+    "CampaignConfig",
+    "quick_campaign",
+    "run_campaign",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.core.analyzer import ThreadTimingAnalyzer
+    from repro.core.timing import TimingDataset, TimingRecord
+    from repro.experiments.campaign import quick_campaign, run_campaign
+    from repro.experiments.config import CampaignConfig
+
+_LAZY_EXPORTS = {
+    "TimingDataset": ("repro.core.timing", "TimingDataset"),
+    "TimingRecord": ("repro.core.timing", "TimingRecord"),
+    "ThreadTimingAnalyzer": ("repro.core.analyzer", "ThreadTimingAnalyzer"),
+    "CampaignConfig": ("repro.experiments.config", "CampaignConfig"),
+    "quick_campaign": ("repro.experiments.campaign", "quick_campaign"),
+    "run_campaign": ("repro.experiments.campaign", "run_campaign"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the top-level convenience exports.
+
+    Keeping these imports lazy lets the lightweight substrates
+    (``repro.sim``, ``repro.stats``, ...) be imported on their own without
+    paying for the full analysis stack.
+    """
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,51 @@
+"""Proxy applications (MiniFE, MiniMD, MiniQMC).
+
+Each application provides three things:
+
+1. **A real (reduced-scale) kernel** — the numerical code the paper times
+   (27-point-stencil CSR mat-vec, Lennard-Jones force loop, QMC walker
+   moves), runnable directly for examples and validated in unit tests.
+2. **A work model** — how the timed loop's iterations map to threads and how
+   much compute each costs at the paper's problem sizes (200³ MiniFE mesh,
+   128³ MiniMD box, one mover per thread for MiniQMC).  This is what shapes
+   the thread-arrival distributions.
+3. **A calibrated cost/noise model** — per-unit costs and application-level
+   variability tuned so the simulated campaign reproduces the paper's
+   measured distribution *shapes* (medians, IQRs, laggard rates, normality
+   classes); see DESIGN.md §5 for the calibration targets and mechanisms.
+
+Use :func:`get_application` to construct one by name.
+"""
+
+from repro.apps.base import ApplicationConfig, ProxyApplication
+from repro.apps.minife.app import MiniFEApp
+from repro.apps.minimd.app import MiniMDApp
+from repro.apps.miniqmc.app import MiniQMCApp
+
+#: Registry of application constructors by canonical name.
+APPLICATIONS = {
+    "minife": MiniFEApp,
+    "minimd": MiniMDApp,
+    "miniqmc": MiniQMCApp,
+}
+
+
+def get_application(name: str, **kwargs) -> ProxyApplication:
+    """Construct a proxy application by name (``'minife'``, ``'minimd'``, ``'miniqmc'``)."""
+    key = name.strip().lower()
+    if key not in APPLICATIONS:
+        raise ValueError(
+            f"unknown application {name!r}; available: {sorted(APPLICATIONS)}"
+        )
+    return APPLICATIONS[key](**kwargs)
+
+
+__all__ = [
+    "ProxyApplication",
+    "ApplicationConfig",
+    "MiniFEApp",
+    "MiniMDApp",
+    "MiniQMCApp",
+    "APPLICATIONS",
+    "get_application",
+]

@@ -1,0 +1,165 @@
+"""Common interface of the proxy applications.
+
+A :class:`ProxyApplication` answers two questions for the campaign runner:
+
+* ``item_costs(process, iteration, rng)`` — the pure compute cost of every
+  iteration of the *timed loop* (the unit the OpenMP schedule distributes);
+  used by the detailed (discrete-event) execution path.
+* ``thread_compute_times(...)`` — the per-thread compute time of one
+  process-iteration including application-level variability, execution
+  jitter and OS noise; used by the vectorised campaign path.
+
+Both paths share the same underlying work decomposition, so they agree in
+distribution; the integration tests check that the closed-form path matches
+the event-driven path exactly when noise is disabled.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.noise import OSNoiseModel
+from repro.cluster.topology import Core
+from repro.openmp.schedule import LoopSchedule, StaticSchedule
+
+
+@dataclass
+class ApplicationConfig:
+    """Run configuration shared by all proxy applications.
+
+    Defaults follow the paper's §3.2: 48 threads per process, 200 iterations.
+    """
+
+    n_threads: int = 48
+    n_iterations: int = 200
+    schedule: LoopSchedule = field(default_factory=StaticSchedule)
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if self.n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+
+
+class ProxyApplication(ABC):
+    """Base class of the instrumented proxy applications."""
+
+    #: canonical lower-case name (``'minife'`` ...)
+    name: str = "abstract"
+    #: name of the instrumented compute region (e.g. ``'matvec'``)
+    region: str = "compute"
+
+    def __init__(self, config: Optional[ApplicationConfig] = None) -> None:
+        self.config = config if config is not None else ApplicationConfig()
+
+    # ------------------------------------------------------------------
+    # per-process lifecycle
+    # ------------------------------------------------------------------
+    def begin_process(self, process: int, rng: np.random.Generator) -> None:
+        """Hook invoked once per (trial, process) before its iterations run.
+
+        Applications that carry per-process state across iterations (e.g.
+        MiniQMC's walker population, whose composition sets that process's
+        mover-time statistics for the whole trial) draw it here.  The default
+        is stateless.
+        """
+
+    # ------------------------------------------------------------------
+    # work decomposition
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def item_costs(
+        self, process: int, iteration: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Pure compute cost (seconds) of every item of the timed loop."""
+
+    def base_thread_times(
+        self, process: int, iteration: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-thread pure compute time under the configured loop schedule."""
+        costs = self.item_costs(process, iteration, rng)
+        outcome = self.config.schedule.simulate(costs, self.config.n_threads)
+        return outcome.busy_time
+
+    def application_delays(
+        self, process: int, iteration: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Application-level per-thread extra delays (seconds).
+
+        Models variability that comes from the application rather than the
+        OS: cache/bandwidth contention stragglers in MiniFE, neighbour-list
+        warm-up in MiniMD, ...  The default is no extra delay.
+        """
+        return np.zeros(self.config.n_threads)
+
+    # ------------------------------------------------------------------
+    # sampling (vectorised campaign path)
+    # ------------------------------------------------------------------
+    def thread_compute_times(
+        self,
+        *,
+        process: int,
+        iteration: int,
+        rng: np.random.Generator,
+        noise: Optional[OSNoiseModel] = None,
+        cores: Optional[Sequence[Core]] = None,
+        region_start_s: float = 0.0,
+    ) -> np.ndarray:
+        """Per-thread measured compute time of one process-iteration.
+
+        Combines the schedule's per-thread busy time, application-level
+        delays, execution jitter and OS-noise preemptions.
+        """
+        base = self.base_thread_times(process, iteration, rng)
+        extra = self.application_delays(process, iteration, rng)
+        if extra.shape != base.shape:
+            raise ValueError("application_delays must return one value per thread")
+        times = base + extra
+        if noise is not None:
+            if noise.spec.enabled and noise.spec.jitter_fraction > 0:
+                jitter = rng.normal(1.0, noise.spec.jitter_fraction, size=times.shape)
+                times = times * np.clip(jitter, 0.5, None)
+            if cores is not None:
+                # exact per-core noise (event-path parity)
+                if len(cores) != len(times):
+                    raise ValueError("need exactly one core per thread")
+                times = times + np.array(
+                    [
+                        noise.delay_over(core, region_start_s, float(times[t]))
+                        for t, core in enumerate(cores)
+                    ]
+                )
+            else:
+                # statistically equivalent vectorised noise (campaign fast path)
+                times = times + noise.batch_delays(times, rng)
+        return times
+
+    # ------------------------------------------------------------------
+    # reference kernel
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def run_reference_kernel(self, rng: np.random.Generator) -> Dict[str, float]:
+        """Execute a reduced-scale version of the timed kernel.
+
+        Returns a dictionary of checkable quantities (norms, energies, ...).
+        Used by unit tests and by the quickstart example to show that the
+        simulated work models correspond to real numerical kernels.
+        """
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Human-readable application description for reports."""
+        return {
+            "name": self.name,
+            "region": self.region,
+            "n_threads": self.config.n_threads,
+            "n_iterations": self.config.n_iterations,
+            "schedule": type(self.config.schedule).__name__,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(threads={self.config.n_threads})"

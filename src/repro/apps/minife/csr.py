@@ -1,0 +1,105 @@
+"""CSR assembly of the 27-point stencil operator (reduced-scale, real kernel).
+
+This is the matrix MiniFE's timed mat-vec multiplies.  The assembled operator
+is the standard symmetric positive-definite stencil Laplacian: off-diagonal
+entries −1 for each of the (up to 26) neighbours and a diagonal chosen as
+``26 + 1`` so the matrix is strictly diagonally dominant — the conjugate
+gradient driver in :mod:`repro.apps.minife.cg` converges on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.apps.minife.mesh import BrickMesh
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """A square sparse matrix in compressed-sparse-row form."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    n_rows: int
+
+    def __post_init__(self) -> None:
+        if len(self.indptr) != self.n_rows + 1:
+            raise ValueError("indptr length must be n_rows + 1")
+        if len(self.indices) != len(self.data):
+            raise ValueError("indices and data must have equal length")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must start at 0 and end at nnz")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    def row_nnz(self) -> np.ndarray:
+        """Nonzeros per row."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense copy (tests only; guards against accidental huge meshes)."""
+        if self.n_rows > 4096:
+            raise ValueError("refusing to densify a matrix with > 4096 rows")
+        dense = np.zeros((self.n_rows, self.n_rows))
+        for row in range(self.n_rows):
+            cols = self.indices[self.indptr[row] : self.indptr[row + 1]]
+            vals = self.data[self.indptr[row] : self.indptr[row + 1]]
+            dense[row, cols] = vals
+        return dense
+
+
+def build_stencil_csr(
+    nx: int, ny: int, nz: int, *, diagonal: float = 27.0, off_diagonal: float = -1.0
+) -> CSRMatrix:
+    """Assemble the 27-point stencil operator on an ``nx × ny × nz`` grid.
+
+    The default coefficients give a symmetric, strictly diagonally dominant
+    (hence SPD) matrix.  Intended for reduced-scale kernels (examples, tests);
+    the full 200³ production volume is handled analytically by
+    :class:`~repro.apps.minife.mesh.BrickMesh`.
+    """
+    mesh = BrickMesh(nx, ny, nz)
+    n_rows = mesh.n_rows
+    if n_rows > 2_000_000:
+        raise ValueError(
+            "build_stencil_csr is the reduced-scale kernel; "
+            f"{n_rows} rows would need the analytic work model instead"
+        )
+    offsets = [
+        (dx, dy, dz)
+        for dz in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        for dx in (-1, 0, 1)
+    ]
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    indices_parts = []
+    data_parts = []
+    for z in range(nz):
+        for y in range(ny):
+            for x in range(nx):
+                row = mesh.node_index(x, y, z)
+                cols = []
+                vals = []
+                for dx, dy, dz in offsets:
+                    xx, yy, zz = x + dx, y + dy, z + dz
+                    if 0 <= xx < nx and 0 <= yy < ny and 0 <= zz < nz:
+                        col = mesh.node_index(xx, yy, zz)
+                        cols.append(col)
+                        vals.append(diagonal if col == row else off_diagonal)
+                order = np.argsort(cols)
+                indices_parts.append(np.asarray(cols, dtype=np.int64)[order])
+                data_parts.append(np.asarray(vals, dtype=np.float64)[order])
+                indptr[row + 1] = len(cols)
+    indptr = np.cumsum(indptr)
+    return CSRMatrix(
+        indptr=indptr,
+        indices=np.concatenate(indices_parts),
+        data=np.concatenate(data_parts),
+        n_rows=n_rows,
+    )

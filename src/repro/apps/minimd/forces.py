@@ -1,0 +1,73 @@
+"""The timed kernel: Lennard-Jones force computation.
+
+Standard 12-6 Lennard-Jones with a cutoff, computed over half neighbour lists
+(forces applied to both atoms of a pair, Newton's third law), exactly the
+structure of MiniMD's ``force_lj`` loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.apps.minimd.lattice import LatticeBox
+from repro.apps.minimd.neighbor import NeighborLists
+
+
+@dataclass(frozen=True)
+class ForceResult:
+    """Forces plus the scalar thermodynamic outputs MiniMD reports."""
+
+    forces: np.ndarray
+    potential_energy: float
+    virial: float
+    pairs_within_cutoff: int
+
+
+def lennard_jones_forces(
+    box: LatticeBox,
+    neighbor_lists: NeighborLists,
+    *,
+    epsilon: float = 1.0,
+    sigma: float = 1.0,
+) -> ForceResult:
+    """Compute LJ forces, potential energy and virial over half lists."""
+    if epsilon <= 0 or sigma <= 0:
+        raise ValueError("epsilon and sigma must be positive")
+    positions = box.positions
+    lengths = box.box_length
+    cutoff_sq = neighbor_lists.cutoff**2
+    forces = np.zeros_like(positions)
+    potential = 0.0
+    virial = 0.0
+    pairs = 0
+    sigma6 = sigma**6
+    for i, neigh in enumerate(neighbor_lists.neighbors):
+        if neigh.size == 0:
+            continue
+        delta = positions[i] - positions[neigh]
+        delta -= lengths * np.round(delta / lengths)
+        dist_sq = np.einsum("ij,ij->i", delta, delta)
+        mask = dist_sq < cutoff_sq
+        if not np.any(mask):
+            continue
+        pairs += int(mask.sum())
+        d2 = dist_sq[mask]
+        d = delta[mask]
+        inv2 = 1.0 / d2
+        inv6 = sigma6 * inv2**3
+        # f/r = 24 ε (2 (σ/r)^12 − (σ/r)^6) / r²
+        force_over_r = 24.0 * epsilon * inv2 * inv6 * (2.0 * inv6 - 1.0)
+        pair_forces = d * force_over_r[:, None]
+        forces[i] += pair_forces.sum(axis=0)
+        np.add.at(forces, neigh[mask], -pair_forces)
+        potential += float(np.sum(4.0 * epsilon * inv6 * (inv6 - 1.0)))
+        virial += float(np.sum(force_over_r * d2))
+    return ForceResult(
+        forces=forces,
+        potential_energy=potential,
+        virial=virial,
+        pairs_within_cutoff=pairs,
+    )

@@ -1,0 +1,57 @@
+"""Walker state: electron configurations advanced by the movers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class Walker:
+    """One walker: the positions of its electrons in the unit cell ([0,1)³)."""
+
+    electrons: np.ndarray
+    weight: float = 1.0
+    age: int = 0
+
+    def __post_init__(self) -> None:
+        self.electrons = np.asarray(self.electrons, dtype=np.float64)
+        if self.electrons.ndim != 2 or self.electrons.shape[1] != 3:
+            raise ValueError("electrons must be an (n_electrons, 3) array")
+
+    @property
+    def n_electrons(self) -> int:
+        return self.electrons.shape[0]
+
+
+@dataclass
+class WalkerEnsemble:
+    """The walker population of one process (one walker per mover/thread)."""
+
+    walkers: List[Walker] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        n_walkers: int,
+        n_electrons: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "WalkerEnsemble":
+        """Random initial configuration of ``n_walkers`` × ``n_electrons``."""
+        if n_walkers < 1 or n_electrons < 1:
+            raise ValueError("n_walkers and n_electrons must be >= 1")
+        gen = rng if rng is not None else np.random.default_rng(0)
+        walkers = [
+            Walker(electrons=gen.uniform(size=(n_electrons, 3)))
+            for _ in range(n_walkers)
+        ]
+        return cls(walkers=walkers)
+
+    @property
+    def n_walkers(self) -> int:
+        return len(self.walkers)
+
+    def total_electrons(self) -> int:
+        return sum(w.n_electrons for w in self.walkers)

@@ -1,0 +1,41 @@
+"""Machine model: cluster topology, per-core clocks and OS noise.
+
+The paper's experiments ran on the Manzano cluster (two 24-core Intel Cascade
+Lake sockets per node, 2.90 GHz, Omni-Path interconnect).  This subpackage
+models the parts of that platform that shape per-thread timing measurements:
+
+* :class:`~repro.cluster.topology.Cluster` /
+  :class:`~repro.cluster.topology.Node` /
+  :class:`~repro.cluster.topology.Core` — the physical layout, including a
+  ``networkx`` graph used by the network model for hop counts.
+* :class:`~repro.cluster.clock.MonotonicClock` — the per-core
+  ``clock_gettime(CLOCK_MONOTONIC)`` analogue: monotonic on one core, *not*
+  synchronised across cores/sockets (no ``tsc_reliable``), which is exactly
+  why the paper measures elapsed compute time instead of comparing raw
+  timestamps.
+* :class:`~repro.cluster.noise.OSNoiseModel` — periodic daemon activity plus
+  random interrupts, after Morari et al.'s quantitative OS-noise analysis
+  (the paper's cited source of laggard threads).
+* :class:`~repro.cluster.config.MachineConfig` — presets, including
+  :func:`~repro.cluster.config.manzano`.
+"""
+
+from repro.cluster.clock import ClockSpec, MonotonicClock
+from repro.cluster.config import MachineConfig, laptop, manzano
+from repro.cluster.noise import NoiseEvent, NoiseSpec, OSNoiseModel
+from repro.cluster.topology import Cluster, Core, Node, Socket
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Socket",
+    "Core",
+    "MonotonicClock",
+    "ClockSpec",
+    "OSNoiseModel",
+    "NoiseSpec",
+    "NoiseEvent",
+    "MachineConfig",
+    "manzano",
+    "laptop",
+]

@@ -1,0 +1,257 @@
+"""Operating-system noise model.
+
+The paper attributes laggard threads primarily to OS noise (citing Morari et
+al., "A quantitative analysis of OS noise", IPDPS 2011).  We model two noise
+sources per core:
+
+* **Periodic daemons** — timer ticks, kernel threads, monitoring agents: a
+  fixed period, a fixed (small) duration, and a per-core phase.
+* **Random interrupts** — a Poisson process of rare, longer preemptions
+  (page-cache flush, NUMA balancing, ...), with exponentially distributed
+  durations.  These are what produce >1 ms laggards.
+
+The central query is :meth:`OSNoiseModel.delay_over`: given that a thread
+needs ``work_s`` seconds of CPU starting at ``start_s`` on a given core, how
+much *extra* wall time does noise add?  The model "detours" through every
+noise event overlapping the execution window, which is how a 25 ms compute
+region stretches to 26+ ms when a 1.2 ms interrupt lands inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.topology import Core
+
+
+@dataclass(frozen=True)
+class NoiseEvent:
+    """One noise occurrence on a core: ``duration`` seconds at ``start``."""
+
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Parameters of the per-core OS noise population.
+
+    Parameters
+    ----------
+    daemon_period_s / daemon_duration_s:
+        Period and duration of the periodic noise component.  Defaults model
+        a 10 ms scheduling tick stealing ~4 µs.
+    interrupt_rate_hz:
+        Mean rate of the random (Poisson) interrupt component per core.
+    interrupt_mean_s:
+        Mean duration of one random interrupt (exponential).
+    interrupt_max_s:
+        Hard cap on a single interrupt duration (keeps tails physical).
+    jitter_fraction:
+        Multiplicative lognormal-ish jitter applied to pure compute time,
+        modelling cache/TLB/DVFS variation (standard deviation as a fraction
+        of the compute time).
+    enabled:
+        Master switch (the noise-off ablation uses ``enabled=False``).
+    """
+
+    daemon_period_s: float = 0.010
+    daemon_duration_s: float = 4.0e-6
+    interrupt_rate_hz: float = 0.3
+    interrupt_mean_s: float = 0.5e-3
+    interrupt_max_s: float = 8.0e-3
+    jitter_fraction: float = 0.005
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        for name in (
+            "daemon_period_s",
+            "daemon_duration_s",
+            "interrupt_rate_hz",
+            "interrupt_mean_s",
+            "interrupt_max_s",
+            "jitter_fraction",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.daemon_period_s == 0 and self.daemon_duration_s > 0:
+            raise ValueError("daemon_duration_s requires a non-zero period")
+
+    def disabled(self) -> "NoiseSpec":
+        """A copy of this spec with all noise switched off."""
+        return NoiseSpec(
+            daemon_period_s=self.daemon_period_s,
+            daemon_duration_s=self.daemon_duration_s,
+            interrupt_rate_hz=self.interrupt_rate_hz,
+            interrupt_mean_s=self.interrupt_mean_s,
+            interrupt_max_s=self.interrupt_max_s,
+            jitter_fraction=self.jitter_fraction,
+            enabled=False,
+        )
+
+
+class OSNoiseModel:
+    """Samples OS noise for the cores of one simulated process.
+
+    Parameters
+    ----------
+    spec:
+        Noise population parameters.
+    rng:
+        Source of randomness (per process/trial, so trials are independent).
+    """
+
+    def __init__(self, spec: NoiseSpec, rng: Optional[np.random.Generator] = None):
+        self.spec = spec
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # per-core phase of the periodic daemon, lazily drawn
+        self._phases: dict = {}
+
+    # ------------------------------------------------------------------
+    def _phase_for(self, core_key: Tuple[int, int, int]) -> float:
+        if core_key not in self._phases:
+            period = self.spec.daemon_period_s
+            self._phases[core_key] = (
+                float(self._rng.uniform(0.0, period)) if period > 0 else 0.0
+            )
+        return self._phases[core_key]
+
+    # ------------------------------------------------------------------
+    def events_in(
+        self, core: Core, start_s: float, end_s: float
+    ) -> List[NoiseEvent]:
+        """All noise events on ``core`` overlapping ``[start_s, end_s)``."""
+        if not self.spec.enabled or end_s <= start_s:
+            return []
+        events: List[NoiseEvent] = []
+        spec = self.spec
+        # periodic daemon occurrences
+        if spec.daemon_period_s > 0 and spec.daemon_duration_s > 0:
+            phase = self._phase_for(core.global_id)
+            first = np.ceil((start_s - phase) / spec.daemon_period_s)
+            tick = phase + first * spec.daemon_period_s
+            while tick < end_s:
+                events.append(NoiseEvent(tick, spec.daemon_duration_s))
+                tick += spec.daemon_period_s
+        # Poisson interrupts
+        if spec.interrupt_rate_hz > 0 and spec.interrupt_mean_s > 0:
+            window = end_s - start_s
+            n = int(self._rng.poisson(spec.interrupt_rate_hz * window))
+            if n > 0:
+                starts = start_s + self._rng.uniform(0.0, window, size=n)
+                durations = np.minimum(
+                    self._rng.exponential(spec.interrupt_mean_s, size=n),
+                    spec.interrupt_max_s,
+                )
+                events.extend(
+                    NoiseEvent(float(s), float(d)) for s, d in zip(starts, durations)
+                )
+        events.sort(key=lambda ev: ev.start)
+        return events
+
+    # ------------------------------------------------------------------
+    def jittered_compute(self, work_s: float, rng: Optional[np.random.Generator] = None) -> float:
+        """Apply multiplicative execution jitter to a pure compute time."""
+        if work_s < 0:
+            raise ValueError("work_s must be non-negative")
+        if not self.spec.enabled or self.spec.jitter_fraction <= 0 or work_s == 0:
+            return work_s
+        gen = rng if rng is not None else self._rng
+        factor = float(gen.normal(1.0, self.spec.jitter_fraction))
+        return work_s * max(factor, 0.5)
+
+    def delay_over(self, core: Core, start_s: float, work_s: float) -> float:
+        """Extra wall time added by noise to ``work_s`` seconds of compute.
+
+        The thread starts at ``start_s``; every noise event whose start falls
+        inside the (continuously extended) execution window preempts the
+        thread for its full duration.
+
+        Returns the *additional* time, i.e. wall time = ``work_s`` + return
+        value.
+        """
+        if work_s < 0:
+            raise ValueError("work_s must be non-negative")
+        if not self.spec.enabled or work_s == 0.0:
+            return 0.0
+        # Look ahead over a window generously larger than the work to capture
+        # events that land inside the stretched execution.
+        horizon = work_s * 1.5 + self.spec.interrupt_max_s + self.spec.daemon_period_s
+        events = self.events_in(core, start_s, start_s + horizon)
+        end = start_s + work_s
+        extra = 0.0
+        for event in events:
+            if event.start < end:
+                end += event.duration
+                extra += event.duration
+            else:
+                break
+        return extra
+
+    def batch_delays(
+        self, work_s, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Vectorised noise delays for a batch of independent compute windows.
+
+        Statistically equivalent to calling :meth:`delay_over` once per entry
+        (periodic daemon occurrences + Poisson interrupts), but without the
+        per-core phase bookkeeping — the fast campaign path uses this, the
+        event-driven path uses :meth:`delay_over`.
+        """
+        work = np.asarray(work_s, dtype=np.float64)
+        if np.any(work < 0):
+            raise ValueError("work times must be non-negative")
+        if not self.spec.enabled:
+            return np.zeros_like(work)
+        gen = rng if rng is not None else self._rng
+        extra = np.zeros_like(work)
+        spec = self.spec
+        if spec.daemon_period_s > 0 and spec.daemon_duration_s > 0:
+            expected_ticks = work / spec.daemon_period_s
+            ticks = np.floor(expected_ticks) + (
+                gen.uniform(size=work.shape) < (expected_ticks - np.floor(expected_ticks))
+            )
+            extra += ticks * spec.daemon_duration_s
+        if spec.interrupt_rate_hz > 0 and spec.interrupt_mean_s > 0:
+            counts = gen.poisson(spec.interrupt_rate_hz * work)
+            flat_counts = counts.ravel()
+            total = int(flat_counts.sum())
+            if total > 0:
+                durations = np.minimum(
+                    gen.exponential(spec.interrupt_mean_s, size=total),
+                    spec.interrupt_max_s,
+                )
+                boundaries = np.cumsum(flat_counts)[:-1]
+                per_window = np.array(
+                    [seg.sum() for seg in np.split(durations, boundaries)]
+                ).reshape(work.shape)
+                extra += per_window
+        return extra
+
+    # ------------------------------------------------------------------
+    def sample_wall_time(
+        self,
+        core: Core,
+        start_s: float,
+        work_s: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Wall time for ``work_s`` of compute starting at ``start_s`` on ``core``.
+
+        Combines execution jitter and noise preemption; this is the single
+        entry point used by the OpenMP execution simulator.
+        """
+        jittered = self.jittered_compute(work_s, rng=rng)
+        return jittered + self.delay_over(core, start_s, jittered)
+
+
+def total_noise(events: Sequence[NoiseEvent]) -> float:
+    """Sum of the durations of a sequence of noise events."""
+    return float(sum(event.duration for event in events))

@@ -1,0 +1,148 @@
+"""The three aggregation levels of §4.1.
+
+The paper tests normality of thread arrival times when aggregated at:
+
+1. **Application level** — all samples of all trials, processes and
+   iterations pooled into one group (768 000 samples at paper scale).
+2. **Application-iteration level** — one group per application iteration,
+   pooling trials, processes and threads (3840 samples per group).
+3. **Process-iteration level** — one group per (trial, process, iteration),
+   i.e. one thread team's arrival vector (48 samples per group).  This is the
+   granularity of Table 1.
+
+:func:`aggregate` turns a :class:`~repro.core.timing.TimingDataset` into a
+:class:`GroupedSamples` matrix for any of the three levels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.timing import TimingDataset
+
+
+class AggregationLevel(enum.Enum):
+    """The paper's three groupings of thread arrival samples."""
+
+    APPLICATION = "application"
+    APPLICATION_ITERATION = "application_iteration"
+    PROCESS_ITERATION = "process_iteration"
+
+    @classmethod
+    def from_name(cls, name: str) -> "AggregationLevel":
+        """Parse a level from a string (accepts the enum value or name)."""
+        text = name.strip().lower()
+        for level in cls:
+            if text in (level.value, level.name.lower()):
+                return level
+        raise ValueError(f"unknown aggregation level {name!r}")
+
+
+@dataclass
+class GroupedSamples:
+    """Samples arranged as equal-size groups.
+
+    Attributes
+    ----------
+    level:
+        The aggregation level that produced the groups.
+    keys:
+        One identifying tuple per group — ``()`` for the application level,
+        ``(iteration,)`` for application-iteration groups and
+        ``(trial, process, iteration)`` for process-iteration groups.
+    values:
+        Matrix of shape ``(n_groups, group_size)`` of compute times in
+        **seconds**.
+    """
+
+    level: AggregationLevel
+    keys: List[Tuple[int, ...]]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 2:
+            raise ValueError("values must be a 2-D (n_groups, group_size) matrix")
+        if len(self.keys) != self.values.shape[0]:
+            raise ValueError("keys length must equal the number of groups")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def group_size(self) -> int:
+        return self.values.shape[1]
+
+    def values_ms(self) -> np.ndarray:
+        """Group matrix in milliseconds (the figures' unit)."""
+        return self.values * 1.0e3
+
+    def group(self, key: Tuple[int, ...]) -> np.ndarray:
+        """Samples of the group identified by ``key``."""
+        try:
+            idx = self.keys.index(tuple(key))
+        except ValueError as exc:
+            raise KeyError(f"no group with key {key}") from exc
+        return self.values[idx]
+
+    def key_index(self) -> Dict[Tuple[int, ...], int]:
+        """Mapping key → row index (computed once for repeated lookups)."""
+        return {key: idx for idx, key in enumerate(self.keys)}
+
+    def iteration_of(self, row: int) -> int:
+        """Application-iteration index of group ``row`` (last key element)."""
+        key = self.keys[row]
+        if not key:
+            raise ValueError("application-level groups have no iteration key")
+        return int(key[-1])
+
+
+def aggregate(
+    dataset: TimingDataset, level: AggregationLevel | str
+) -> GroupedSamples:
+    """Group a dataset's compute times at one of the paper's three levels.
+
+    The dataset must be *dense* (every trial/process/iteration/thread
+    combination present exactly once), which every campaign produced by this
+    package is; sparse data would make the fixed-width group matrix ambiguous.
+    """
+    if isinstance(level, str):
+        level = AggregationLevel.from_name(level)
+    if not dataset.is_dense():
+        raise ValueError("aggregation requires a dense dataset")
+    dense = dataset.to_dense()  # (trials, processes, iterations, threads)
+    n_trials, n_processes, n_iterations, n_threads = dense.shape
+    trials = dataset.trials
+    processes = dataset.processes
+    iterations = dataset.iterations
+
+    if level is AggregationLevel.APPLICATION:
+        values = dense.reshape(1, -1)
+        keys: List[Tuple[int, ...]] = [()]
+    elif level is AggregationLevel.APPLICATION_ITERATION:
+        # (iterations, trials * processes * threads)
+        values = dense.transpose(2, 0, 1, 3).reshape(n_iterations, -1)
+        keys = [(int(it),) for it in iterations]
+    elif level is AggregationLevel.PROCESS_ITERATION:
+        values = dense.reshape(n_trials * n_processes * n_iterations, n_threads)
+        keys = [
+            (int(trials[t]), int(processes[p]), int(iterations[i]))
+            for t in range(n_trials)
+            for p in range(n_processes)
+            for i in range(n_iterations)
+        ]
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unsupported level {level}")
+    return GroupedSamples(level=level, keys=keys, values=values)
+
+
+def per_iteration_samples(dataset: TimingDataset) -> np.ndarray:
+    """Matrix ``(n_iterations, samples_per_iteration)`` (percentile-plot input)."""
+    grouped = aggregate(dataset, AggregationLevel.APPLICATION_ITERATION)
+    return grouped.values

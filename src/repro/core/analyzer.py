@@ -1,0 +1,213 @@
+"""The high-level analysis facade.
+
+:class:`ThreadTimingAnalyzer` ties every analysis of §4 together for one
+application's :class:`~repro.core.timing.TimingDataset`:
+
+>>> analyzer = ThreadTimingAnalyzer(dataset)
+>>> analyzer.percentile_series()      # Figures 4 / 6 / 8
+>>> analyzer.application_histogram()  # Figure 3
+>>> analyzer.normality()              # §4.1 / Table 1
+>>> analyzer.laggards()               # §4.2 laggard analysis
+>>> analyzer.reclaimable()            # §4.2 reclaimable time / idle ratio
+>>> analyzer.earlybird()              # Figures 1 / 2 quantified
+>>> analyzer.report()                 # everything above in one object
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import AggregationLevel, GroupedSamples, aggregate
+from repro.core.earlybird import EarlyBirdModel
+from repro.core.laggard import (
+    DEFAULT_LAGGARD_THRESHOLD_S,
+    DEFAULT_WIDE_IQR_S,
+    IterationClass,
+    LaggardAnalysis,
+    analyze_laggards,
+)
+from repro.core.normality import NormalityStudy
+from repro.core.reclaimable import ReclaimableSummary, summarize_reclaimable
+from repro.core.report import FeasibilityReport
+from repro.core.timing import TimingDataset
+from repro.stats.histogram import FixedWidthHistogram, fixed_width_histogram
+from repro.stats.percentiles import DEFAULT_PERCENTILES, PercentileSeries
+
+
+class ThreadTimingAnalyzer:
+    """Per-application analysis driver.
+
+    Parameters
+    ----------
+    dataset:
+        The application's timing dataset (dense).
+    laggard_threshold_s:
+        Laggard definition, 1 ms in the paper.
+    wide_iqr_s:
+        IQR above which a process-iteration counts as a "wide" distribution.
+    alpha:
+        Significance level of the normality battery.
+    earlybird_model:
+        Model used for the feasibility quantification; a default Omni-Path /
+        8 MiB model is created if omitted.
+    """
+
+    def __init__(
+        self,
+        dataset: TimingDataset,
+        *,
+        laggard_threshold_s: float = DEFAULT_LAGGARD_THRESHOLD_S,
+        wide_iqr_s: float = DEFAULT_WIDE_IQR_S,
+        alpha: float = 0.05,
+        earlybird_model: Optional[EarlyBirdModel] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.laggard_threshold_s = laggard_threshold_s
+        self.wide_iqr_s = wide_iqr_s
+        self.alpha = alpha
+        self.earlybird_model = (
+            earlybird_model if earlybird_model is not None else EarlyBirdModel()
+        )
+        self._grouped: Dict[AggregationLevel, GroupedSamples] = {}
+        self._normality: Optional[NormalityStudy] = None
+        self._laggards: Optional[LaggardAnalysis] = None
+        self._reclaimable: Optional[ReclaimableSummary] = None
+        self._earlybird_summary: Optional[Dict[str, float]] = None
+
+    # ------------------------------------------------------------------
+    # cached building blocks
+    # ------------------------------------------------------------------
+    def grouped(self, level: AggregationLevel | str) -> GroupedSamples:
+        """Samples grouped at one of the paper's aggregation levels (cached)."""
+        if isinstance(level, str):
+            level = AggregationLevel.from_name(level)
+        if level not in self._grouped:
+            self._grouped[level] = aggregate(self.dataset, level)
+        return self._grouped[level]
+
+    def normality(self) -> NormalityStudy:
+        """§4.1 normality study (lazy)."""
+        if self._normality is None:
+            self._normality = NormalityStudy(self.dataset, alpha=self.alpha)
+        return self._normality
+
+    def laggards(self) -> LaggardAnalysis:
+        """§4.2 laggard analysis (lazy)."""
+        if self._laggards is None:
+            self._laggards = analyze_laggards(
+                self.grouped(AggregationLevel.PROCESS_ITERATION),
+                threshold_s=self.laggard_threshold_s,
+                wide_iqr_s=self.wide_iqr_s,
+            )
+        return self._laggards
+
+    def reclaimable(self) -> ReclaimableSummary:
+        """§4.2 reclaimable time / idle ratio summary (lazy)."""
+        if self._reclaimable is None:
+            self._reclaimable = summarize_reclaimable(
+                self.grouped(AggregationLevel.PROCESS_ITERATION)
+            )
+        return self._reclaimable
+
+    # ------------------------------------------------------------------
+    # figure-shaped products
+    # ------------------------------------------------------------------
+    def percentile_series(
+        self, percentiles=DEFAULT_PERCENTILES
+    ) -> PercentileSeries:
+        """Per-iteration percentile trajectories in ms (Figures 4 / 6 / 8)."""
+        per_iteration = self.grouped(AggregationLevel.APPLICATION_ITERATION)
+        return PercentileSeries.from_samples(
+            per_iteration.values_ms(), percentiles, unit="ms"
+        )
+
+    def application_histogram(self, bin_width_s: float = 10.0e-6) -> FixedWidthHistogram:
+        """Application-level arrival histogram (Figure 3; default 10 µs bins)."""
+        return fixed_width_histogram(
+            self.dataset.compute_times_s, bin_width_s, unit="s"
+        )
+
+    def process_iteration_histogram(
+        self, key: Tuple[int, int, int], bin_width_s: float = 50.0e-6
+    ) -> FixedWidthHistogram:
+        """Histogram of one process-iteration (Figures 5 / 7 / 9)."""
+        grouped = self.grouped(AggregationLevel.PROCESS_ITERATION)
+        return fixed_width_histogram(grouped.group(key), bin_width_s, unit="s")
+
+    def exemplar_histogram(
+        self, iteration_class: IterationClass, bin_width_s: float = 50.0e-6
+    ) -> Optional[FixedWidthHistogram]:
+        """Histogram of the exemplar process-iteration of one class."""
+        key = self.laggards().exemplar(iteration_class)
+        if key is None:
+            return None
+        return self.process_iteration_histogram(key, bin_width_s)
+
+    # ------------------------------------------------------------------
+    # early-bird quantification
+    # ------------------------------------------------------------------
+    def earlybird(self, max_groups: int = 200) -> Dict[str, float]:
+        """Mean early-bird gain over a deterministic sample of process-iterations.
+
+        Evaluating all 16 000 groups is unnecessary for a mean; a strided
+        subset of ``max_groups`` groups is used (deterministic, no RNG).
+        """
+        if self._earlybird_summary is None:
+            grouped = self.grouped(AggregationLevel.PROCESS_ITERATION)
+            n = grouped.n_groups
+            stride = max(n // max_groups, 1)
+            subset = grouped.values[::stride]
+            results = self.earlybird_model.evaluate_groups(subset)
+            self._earlybird_summary = {
+                "mean_improvement_s": float(np.mean(results["improvement_s"])),
+                "mean_speedup": float(np.mean(results["speedup"])),
+                "mean_hidden_s": float(np.mean(results["hidden_s"])),
+                "mean_potential_overlap_s": float(
+                    np.mean(results["potential_overlap_s"])
+                ),
+                "groups_evaluated": float(len(subset)),
+            }
+        return self._earlybird_summary
+
+    # ------------------------------------------------------------------
+    def report(self, include_earlybird: bool = True) -> FeasibilityReport:
+        """Produce the full per-application feasibility report."""
+        series = self.percentile_series()
+        laggards = self.laggards()
+        reclaimable = self.reclaimable()
+        normality = self.normality()
+        iqr_stats = series.iqr_summary()
+        earlybird = self.earlybird() if include_earlybird else None
+        return FeasibilityReport(
+            application=self.dataset.application,
+            n_samples=self.dataset.n_samples,
+            n_trials=self.dataset.n_trials,
+            n_processes=self.dataset.n_processes,
+            n_iterations=self.dataset.n_iterations,
+            n_threads=self.dataset.n_threads,
+            mean_median_arrival_ms=series.mean_median(),
+            mean_iqr_ms=iqr_stats["mean"],
+            max_iqr_ms=iqr_stats["max"],
+            skew_direction=series.skew_direction(),
+            laggard_fraction=laggards.laggard_fraction,
+            laggard_threshold_ms=self.laggard_threshold_s * 1e3,
+            class_fractions={
+                cls.value: laggards.class_fraction(cls) for cls in IterationClass
+            },
+            mean_reclaimable_ms=reclaimable.mean_reclaimable_s * 1e3,
+            mean_idle_ratio=reclaimable.mean_idle_ratio,
+            application_level_rejected=normality.application_rejects_normality(),
+            process_iteration_pass_rates=normality.process_iteration_pass_rates(),
+            earlybird_mean_improvement_us=(
+                earlybird["mean_improvement_s"] * 1e6 if earlybird else 0.0
+            ),
+            earlybird_mean_speedup=(
+                earlybird["mean_speedup"] if earlybird else 1.0
+            ),
+            earlybird_buffer_bytes=(
+                self.earlybird_model.buffer_bytes if earlybird else 0
+            ),
+            extras={"metadata": dict(self.dataset.metadata)},
+        )

@@ -1,0 +1,27 @@
+"""Campaign runner and evaluation-section generators.
+
+* :mod:`~repro.experiments.config` — campaign configurations (the paper's
+  §3.2 setup is :meth:`CampaignConfig.paper_scale`).
+* :mod:`~repro.experiments.campaign` — run a campaign for one or all
+  applications, on the vectorised or event-driven execution path.
+* :mod:`~repro.experiments.figures` — per-figure data generators (Fig. 1–9).
+* :mod:`~repro.experiments.tables` — Table 1 and the §4.2 scalar-metric table.
+* :mod:`~repro.experiments.paper` — the paper's reported values, for
+  paper-vs-measured comparison.
+* :mod:`~repro.experiments.runner` — the ``repro-campaign`` CLI.
+"""
+
+from repro.experiments.campaign import quick_campaign, run_all_campaigns, run_campaign
+from repro.experiments.config import CampaignConfig
+from repro.experiments.paper import PAPER_REFERENCE
+from repro.experiments.tables import section4_metrics_table, table1
+
+__all__ = [
+    "CampaignConfig",
+    "run_campaign",
+    "run_all_campaigns",
+    "quick_campaign",
+    "table1",
+    "section4_metrics_table",
+    "PAPER_REFERENCE",
+]

@@ -1,0 +1,89 @@
+"""Campaign configurations.
+
+The paper's experimental design (§3.2): ten trials per application, eight
+processes per job, 48 threads per process (all hardware contexts of a node
+pair), two hundred iterations, on the Manzano machine.
+:meth:`CampaignConfig.paper_scale` reproduces that; smaller presets exist for
+tests, examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cluster.config import MachineConfig, manzano
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one measurement campaign (one application)."""
+
+    application: str = "minife"
+    trials: int = 10
+    processes: int = 8
+    iterations: int = 200
+    threads: int = 48
+    seed: int = 20230421  # arXiv submission date of the paper
+    machine: MachineConfig = field(default_factory=manzano)
+    #: ``"vectorized"`` (closed-form, fast) or ``"event"`` (discrete-event)
+    backend: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if min(self.trials, self.processes, self.iterations, self.threads) < 1:
+            raise ValueError("trials, processes, iterations and threads must be >= 1")
+        if self.backend not in ("vectorized", "event"):
+            raise ValueError("backend must be 'vectorized' or 'event'")
+        needed_nodes = -(-self.processes * self.threads // self.machine.cores_per_node)
+        if self.machine.n_nodes < needed_nodes:
+            self.machine = replace(self.machine, n_nodes=needed_nodes)
+
+    # ------------------------------------------------------------------
+    @property
+    def samples_per_application(self) -> int:
+        """Total number of thread-timing samples the campaign produces."""
+        return self.trials * self.processes * self.iterations * self.threads
+
+    @property
+    def process_iterations(self) -> int:
+        """Number of process-iteration groups (Table-1 granularity)."""
+        return self.trials * self.processes * self.iterations
+
+    def for_application(self, application: str) -> "CampaignConfig":
+        """Copy of this configuration targeting another application."""
+        return replace(self, application=application)
+
+    def scaled(self, *, trials: Optional[int] = None, processes: Optional[int] = None,
+               iterations: Optional[int] = None, threads: Optional[int] = None) -> "CampaignConfig":
+        """Copy with some dimensions overridden."""
+        return replace(
+            self,
+            trials=trials if trials is not None else self.trials,
+            processes=processes if processes is not None else self.processes,
+            iterations=iterations if iterations is not None else self.iterations,
+            threads=threads if threads is not None else self.threads,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_scale(cls, application: str = "minife", seed: int = 20230421) -> "CampaignConfig":
+        """The paper's full §3.2 configuration (768 000 samples/application)."""
+        return cls(application=application, trials=10, processes=8, iterations=200,
+                   threads=48, seed=seed, machine=manzano())
+
+    @classmethod
+    def benchmark_scale(cls, application: str = "minife", seed: int = 20230421) -> "CampaignConfig":
+        """Reduced configuration used by the pytest benchmarks.
+
+        Keeps the full 48-thread teams and 200 iterations (the dimensions the
+        figures depend on) but fewer trials/processes so a benchmark iteration
+        stays in the seconds range.
+        """
+        return cls(application=application, trials=2, processes=2, iterations=200,
+                   threads=48, seed=seed, machine=manzano())
+
+    @classmethod
+    def smoke(cls, application: str = "minife", seed: int = 7) -> "CampaignConfig":
+        """Tiny configuration for unit/integration tests."""
+        return cls(application=application, trials=1, processes=2, iterations=12,
+                   threads=16, seed=seed, machine=manzano(n_nodes=1))

@@ -1,0 +1,251 @@
+"""Per-figure data generators.
+
+Each function regenerates the data behind one figure of the paper from a
+timing dataset (or, for Figures 1/2, from an arrival vector), returning a
+:class:`FigureData` that carries the raw series plus enough labelling to
+render it (ASCII in the examples, CSV for external plotting) and to assert
+its qualitative shape in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.analyzer import ThreadTimingAnalyzer
+from repro.core.earlybird import EarlyBirdModel
+from repro.core.laggard import IterationClass
+from repro.core.timing import TimingDataset
+from repro.experiments.paper import FIGURE_PARAMETERS
+from repro.stats.histogram import FixedWidthHistogram
+from repro.stats.percentiles import PercentileSeries
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure: identifying metadata plus its data objects."""
+
+    figure_id: str
+    title: str
+    application: str
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def __getitem__(self, key: str):
+        return self.payload[key]
+
+    def keys(self):
+        return self.payload.keys()
+
+
+# ----------------------------------------------------------------------
+# Figures 1 & 2 — the early-bird model and the potential overlap
+# ----------------------------------------------------------------------
+def figure1_earlybird_timeline(
+    arrivals_s: Sequence[float],
+    *,
+    buffer_bytes: int = 8 * 1024 * 1024,
+    model: Optional[EarlyBirdModel] = None,
+) -> FigureData:
+    """Figure 1: per-partition ready/injection/delivery timeline vs bulk."""
+    eb = model if model is not None else EarlyBirdModel(buffer_bytes=buffer_bytes)
+    outcome = eb.evaluate(arrivals_s)
+    transfer = outcome.earlybird_transfer
+    return FigureData(
+        figure_id="figure1",
+        title="Early-bird model of communication",
+        application="model",
+        payload={
+            "arrivals_s": np.asarray(arrivals_s, dtype=np.float64),
+            "partition_ready_s": transfer.ready_times(),
+            "partition_delivery_s": transfer.delivery_times(),
+            "bulk_completion_s": outcome.bulk_completion_s,
+            "earlybird_completion_s": outcome.earlybird_completion_s,
+            "improvement_s": outcome.improvement_s,
+            "speedup": outcome.speedup,
+        },
+    )
+
+
+def figure2_potential_overlap(
+    arrivals_s: Sequence[float],
+    *,
+    model: Optional[EarlyBirdModel] = None,
+) -> FigureData:
+    """Figure 2: per-thread potential-overlap windows (the green boxes)."""
+    eb = model if model is not None else EarlyBirdModel()
+    windows = eb.overlap_windows(arrivals_s)
+    return FigureData(
+        figure_id="figure2",
+        title="Potential for computation-communication overlap",
+        application="model",
+        payload={
+            "threads": np.array([w.thread for w in windows]),
+            "arrival_s": np.array([w.arrival_s for w in windows]),
+            "window_s": np.array([w.window_s for w in windows]),
+            "total_overlap_s": float(sum(w.window_s for w in windows)),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — application-level histograms
+# ----------------------------------------------------------------------
+def figure3_histogram(dataset: TimingDataset) -> FigureData:
+    """Figure 3: application-level arrival histogram with 10 µs bins."""
+    bin_width = FIGURE_PARAMETERS["figure3"]["bin_width_s"]
+    histogram = ThreadTimingAnalyzer(dataset).application_histogram(bin_width)
+    return FigureData(
+        figure_id="figure3",
+        title="Application thread arrival time histogram",
+        application=dataset.application,
+        payload={
+            "histogram": histogram,
+            "peak_ms": histogram.mode_center * 1e3,
+            "samples": histogram.total,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 4 / 6 / 8 — percentile plots
+# ----------------------------------------------------------------------
+def percentile_figure(dataset: TimingDataset, figure_id: str) -> FigureData:
+    """Shared generator of the three percentile plots."""
+    series = ThreadTimingAnalyzer(dataset).percentile_series()
+    return FigureData(
+        figure_id=figure_id,
+        title="Per-iteration thread arrival percentiles",
+        application=dataset.application,
+        payload={
+            "series": series,
+            "mean_median_ms": series.mean_median(),
+            "mean_iqr_ms": float(series.iqr.mean()),
+            "max_iqr_ms": float(series.iqr.max()),
+            "skew_direction": series.skew_direction(),
+        },
+    )
+
+
+def figure4_minife_percentiles(dataset: TimingDataset) -> FigureData:
+    """Figure 4: MiniFE mat-vec arrival percentiles per iteration."""
+    return percentile_figure(dataset, "figure4")
+
+
+def figure6_minimd_percentiles(dataset: TimingDataset, warmup_iterations: int = 19) -> FigureData:
+    """Figure 6: MiniMD force-loop percentiles per iteration (two-phase)."""
+    data = percentile_figure(dataset, "figure6")
+    series: PercentileSeries = data["series"]  # type: ignore[assignment]
+    data.payload["warmup_mean_iqr_ms"] = float(series.iqr[:warmup_iterations].mean())
+    data.payload["steady_mean_iqr_ms"] = float(series.iqr[warmup_iterations:].mean())
+    data.payload["warmup_iterations"] = warmup_iterations
+    return data
+
+
+def figure8_miniqmc_percentiles(dataset: TimingDataset) -> FigureData:
+    """Figure 8: MiniQMC mover percentiles per iteration."""
+    return percentile_figure(dataset, "figure8")
+
+
+# ----------------------------------------------------------------------
+# Figures 5 / 7 / 9 — example process-iteration histograms per class
+# ----------------------------------------------------------------------
+def figure5_minife_classes(dataset: TimingDataset) -> FigureData:
+    """Figure 5: MiniFE no-laggard vs laggard example histograms (50 µs bins)."""
+    analyzer = ThreadTimingAnalyzer(dataset)
+    laggards = analyzer.laggards()
+    bin_width = FIGURE_PARAMETERS["figure5"]["bin_width_s"]
+    payload: Dict[str, object] = {
+        "laggard_fraction": laggards.laggard_fraction,
+        "no_laggard_fraction": 1.0 - laggards.laggard_fraction,
+    }
+    for cls, label in ((IterationClass.NO_LAGGARD, "no_laggard"), (IterationClass.LAGGARD, "laggard")):
+        hist = analyzer.exemplar_histogram(cls, bin_width)
+        payload[f"{label}_histogram"] = hist
+        payload[f"{label}_exemplar"] = laggards.exemplar(cls)
+    return FigureData(
+        figure_id="figure5",
+        title="MiniFE thread arrival distribution classes",
+        application=dataset.application,
+        payload=payload,
+    )
+
+
+def figure7_minimd_classes(dataset: TimingDataset, warmup_iterations: int = 19) -> FigureData:
+    """Figure 7: MiniMD initial / no-laggard / laggard example histograms."""
+    analyzer = ThreadTimingAnalyzer(dataset)
+    wide_bin = FIGURE_PARAMETERS["figure7a"]["bin_width_s"]
+    tight_bin = FIGURE_PARAMETERS["figure7bc"]["bin_width_s"]
+    laggards = analyzer.laggards()
+
+    # (a) initial behaviour: any process-iteration from the warm-up phase
+    warmup_keys = [key for key in laggards.keys if key[-1] < warmup_iterations]
+    initial_hist = (
+        analyzer.process_iteration_histogram(warmup_keys[len(warmup_keys) // 2], wide_bin)
+        if warmup_keys
+        else None
+    )
+
+    # (b)/(c): post-warm-up laggard statistics
+    steady_indices = [i for i, key in enumerate(laggards.keys) if key[-1] >= warmup_iterations]
+    steady_has_laggard = laggards.has_laggard[steady_indices]
+    steady_fraction = float(np.mean(steady_has_laggard)) if steady_indices else 0.0
+
+    def steady_exemplar(want_laggard: bool):
+        candidates = [
+            laggards.keys[i]
+            for i in steady_indices
+            if bool(laggards.has_laggard[i]) == want_laggard
+        ]
+        return candidates[len(candidates) // 2] if candidates else None
+
+    payload: Dict[str, object] = {
+        "initial_histogram": initial_hist,
+        "steady_laggard_fraction": steady_fraction,
+        "steady_no_laggard_fraction": 1.0 - steady_fraction,
+        "warmup_iterations": warmup_iterations,
+    }
+    for want, label in ((False, "no_laggard"), (True, "laggard")):
+        key = steady_exemplar(want)
+        payload[f"{label}_exemplar"] = key
+        payload[f"{label}_histogram"] = (
+            analyzer.process_iteration_histogram(key, tight_bin) if key is not None else None
+        )
+    return FigureData(
+        figure_id="figure7",
+        title="MiniMD thread arrival distribution classes",
+        application=dataset.application,
+        payload=payload,
+    )
+
+
+def figure9_miniqmc_histogram(dataset: TimingDataset) -> FigureData:
+    """Figure 9: a representative MiniQMC process-iteration histogram (1 ms bins)."""
+    analyzer = ThreadTimingAnalyzer(dataset)
+    bin_width = FIGURE_PARAMETERS["figure9"]["bin_width_s"]
+    laggards = analyzer.laggards()
+    key = laggards.exemplar(IterationClass.WIDE) or laggards.keys[len(laggards.keys) // 2]
+    histogram = analyzer.process_iteration_histogram(key, bin_width)
+    return FigureData(
+        figure_id="figure9",
+        title="MiniQMC thread arrival distribution example",
+        application=dataset.application,
+        payload={
+            "histogram": histogram,
+            "exemplar": key,
+            "spread_ms": histogram.spread() * 1e3,
+        },
+    )
+
+
+#: Registry used by the CLI runner: figure id → (applications, generator).
+FIGURE_GENERATORS = {
+    "figure3": (("minife", "minimd", "miniqmc"), figure3_histogram),
+    "figure4": (("minife",), figure4_minife_percentiles),
+    "figure5": (("minife",), figure5_minife_classes),
+    "figure6": (("minimd",), figure6_minimd_percentiles),
+    "figure7": (("minimd",), figure7_minimd_classes),
+    "figure8": (("miniqmc",), figure8_miniqmc_percentiles),
+    "figure9": (("miniqmc",), figure9_miniqmc_histogram),
+}

@@ -1,0 +1,191 @@
+"""The ``repro-campaign`` command-line interface.
+
+Runs the measurement campaign for one or more applications, regenerates the
+paper's tables and figures and writes everything (datasets, CSV series, an
+ASCII report) to an output directory::
+
+    repro-campaign --scale benchmark --output results/
+    repro-campaign --scale paper --apps minife minimd miniqmc --output results-full/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.analyzer import ThreadTimingAnalyzer
+from repro.core.timing import TimingDataset
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import CampaignConfig
+from repro.experiments.figures import (
+    figure3_histogram,
+    figure5_minife_classes,
+    figure7_minimd_classes,
+    figure9_miniqmc_histogram,
+    percentile_figure,
+)
+from repro.experiments.tables import (
+    minimd_phase_table,
+    section4_metrics_table,
+    section41_normality_table,
+    table1,
+)
+from repro.io.dataset_io import save_dataset
+from repro.viz.ascii import ascii_histogram, ascii_percentile_plot, ascii_table
+from repro.viz.export import export_histogram_csv, export_percentiles_csv, export_rows_csv
+
+SCALES = {
+    "smoke": CampaignConfig.smoke,
+    "benchmark": CampaignConfig.benchmark_scale,
+    "paper": CampaignConfig.paper_scale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Reproduce the thread-timing measurement campaign of "
+        "'Measuring Thread Timing to Assess the Feasibility of Early-bird "
+        "Message Delivery' (ICPP 2023).",
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        default=["minife", "minimd", "miniqmc"],
+        help="applications to run (default: all three proxies)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="benchmark",
+        help="campaign size preset (default: benchmark)",
+    )
+    parser.add_argument("--trials", type=int, default=None, help="override trial count")
+    parser.add_argument("--processes", type=int, default=None, help="override process count")
+    parser.add_argument("--iterations", type=int, default=None, help="override iteration count")
+    parser.add_argument("--threads", type=int, default=None, help="override thread count")
+    parser.add_argument("--seed", type=int, default=None, help="override the campaign seed")
+    parser.add_argument(
+        "--backend",
+        choices=["vectorized", "event"],
+        default="vectorized",
+        help="execution backend (default: vectorized)",
+    )
+    parser.add_argument(
+        "--no-noise", action="store_true", help="disable the OS-noise model (ablation)"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path("results"), help="output directory"
+    )
+    parser.add_argument(
+        "--save-datasets", action="store_true", help="also write the raw .npz datasets"
+    )
+    return parser
+
+
+def _configure(args: argparse.Namespace, application: str) -> CampaignConfig:
+    config: CampaignConfig = SCALES[args.scale](application=application)
+    config = config.scaled(
+        trials=args.trials,
+        processes=args.processes,
+        iterations=args.iterations,
+        threads=args.threads,
+    )
+    if args.seed is not None:
+        config.seed = args.seed
+    config.backend = args.backend
+    if args.no_noise:
+        config.machine = config.machine.without_noise()
+    return config
+
+
+def _write_figures(datasets: Dict[str, TimingDataset], output: Path, report_lines: List[str]) -> None:
+    figure_dir = output / "figures"
+    for name, dataset in datasets.items():
+        analyzer = ThreadTimingAnalyzer(dataset)
+        fig3 = figure3_histogram(dataset)
+        export_histogram_csv(fig3["histogram"], figure_dir / f"figure3_{name}.csv")
+        series_fig = percentile_figure(dataset, "percentiles")
+        export_percentiles_csv(series_fig["series"], figure_dir / f"percentiles_{name}.csv")
+        report_lines.append(f"\n--- {name}: application-level histogram (Figure 3) ---")
+        report_lines.append(ascii_histogram(fig3["histogram"], max_rows=25))
+        report_lines.append(f"\n--- {name}: percentile plot (Figures 4/6/8) ---")
+        report_lines.append(ascii_percentile_plot(series_fig["series"]))
+        report_lines.append("\n" + analyzer.report().summary())
+    if "minife" in datasets:
+        fig5 = figure5_minife_classes(datasets["minife"])
+        for label in ("no_laggard", "laggard"):
+            hist = fig5[f"{label}_histogram"]
+            if hist is not None:
+                export_histogram_csv(hist, figure_dir / f"figure5_{label}.csv")
+    if "minimd" in datasets:
+        fig7 = figure7_minimd_classes(datasets["minimd"])
+        for label in ("initial", "no_laggard", "laggard"):
+            hist = fig7.payload.get(f"{label}_histogram")
+            if hist is not None:
+                export_histogram_csv(hist, figure_dir / f"figure7_{label}.csv")
+    if "miniqmc" in datasets:
+        fig9 = figure9_miniqmc_histogram(datasets["miniqmc"])
+        export_histogram_csv(fig9["histogram"], figure_dir / "figure9_miniqmc.csv")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-campaign`` console script."""
+    args = build_parser().parse_args(argv)
+    output: Path = args.output
+    output.mkdir(parents=True, exist_ok=True)
+    datasets: Dict[str, TimingDataset] = {}
+    report_lines: List[str] = []
+    for application in args.apps:
+        config = _configure(args, application)
+        started = time.perf_counter()
+        print(
+            f"[repro-campaign] running {application}: {config.trials} trials x "
+            f"{config.processes} processes x {config.iterations} iterations x "
+            f"{config.threads} threads ({config.backend} backend)",
+            flush=True,
+        )
+        dataset = run_campaign(config)
+        elapsed = time.perf_counter() - started
+        print(
+            f"[repro-campaign]   {dataset.n_samples} samples in {elapsed:.1f} s",
+            flush=True,
+        )
+        datasets[application] = dataset
+        if args.save_datasets:
+            save_dataset(dataset, output / f"dataset_{application}.npz")
+
+    # tables
+    table_rows = table1(datasets)
+    export_rows_csv(table_rows, output / "table1.csv")
+    metric_rows = section4_metrics_table(datasets)
+    export_rows_csv(metric_rows, output / "section4_metrics.csv")
+    normality_rows = section41_normality_table(datasets)
+    export_rows_csv(normality_rows, output / "section41_normality.csv")
+    report_lines.append("=== Table 1: process-iteration normality pass rates ===")
+    report_lines.append(ascii_table(table_rows))
+    report_lines.append("\n=== Section 4.2 scalar metrics (paper vs measured) ===")
+    report_lines.append(ascii_table(metric_rows))
+    report_lines.append("\n=== Section 4.1 coarse-level normality ===")
+    report_lines.append(ascii_table(normality_rows))
+    if "minimd" in datasets:
+        phase_rows = minimd_phase_table(datasets["minimd"])
+        export_rows_csv(phase_rows, output / "minimd_phases.csv")
+        report_lines.append("\n=== MiniMD two-phase IQR comparison ===")
+        report_lines.append(ascii_table(phase_rows))
+
+    # figures
+    _write_figures(datasets, output, report_lines)
+
+    report = "\n".join(report_lines)
+    (output / "report.txt").write_text(report)
+    print(report)
+    print(f"\n[repro-campaign] wrote tables, figures and report to {output}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

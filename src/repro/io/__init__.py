@@ -1,0 +1,16 @@
+"""Dataset persistence (NumPy ``.npz`` + JSON metadata, CSV export)."""
+
+from repro.io.dataset_io import (
+    dataset_to_csv,
+    load_dataset,
+    save_dataset,
+)
+from repro.io.schema import DATASET_FORMAT_VERSION, validate_columns
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "dataset_to_csv",
+    "DATASET_FORMAT_VERSION",
+    "validate_columns",
+]

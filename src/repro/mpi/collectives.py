@@ -1,0 +1,95 @@
+"""Analytic cost models for common collectives.
+
+The campaign does not need full collective implementations — the paper's
+measurements are per-process — but the proxy-application drivers (MiniFE's CG
+solver does an allreduce per iteration, MiniMD exchanges halo atoms) account
+for the time their communication phases take between compute regions.  These
+closed-form models use the standard log-tree / recursive-doubling cost
+expressions on top of the :class:`~repro.mpi.network.NetworkModel`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mpi.network import NetworkModel
+
+
+def _alpha_beta(network: NetworkModel, nbytes: int, hops: int = 1) -> tuple[float, float]:
+    """Per-message latency (alpha) and per-byte (beta) terms."""
+    alpha = (
+        network.o_send_s
+        + network.o_recv_s
+        + network.wire_latency(hops)
+        + network.protocol_overhead(nbytes)
+    )
+    beta = network.gap_per_byte_s
+    return alpha, beta
+
+
+def barrier_time(network: NetworkModel, n_ranks: int, hops: int = 1) -> float:
+    """Dissemination barrier: ``ceil(log2 P)`` rounds of zero-byte messages."""
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_ranks == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(n_ranks))
+    alpha, _ = _alpha_beta(network, 0, hops)
+    return rounds * alpha
+
+
+def bcast_time(network: NetworkModel, n_ranks: int, nbytes: int, hops: int = 1) -> float:
+    """Binomial-tree broadcast."""
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_ranks == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(n_ranks))
+    alpha, beta = _alpha_beta(network, nbytes, hops)
+    return rounds * (alpha + nbytes * beta)
+
+
+def reduce_time(network: NetworkModel, n_ranks: int, nbytes: int, hops: int = 1) -> float:
+    """Binomial-tree reduction (compute cost of the reduction op neglected)."""
+    return bcast_time(network, n_ranks, nbytes, hops)
+
+
+def allreduce_time(
+    network: NetworkModel, n_ranks: int, nbytes: int, hops: int = 1
+) -> float:
+    """Recursive-doubling allreduce: ``log2 P`` rounds, full payload each round."""
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_ranks == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(n_ranks))
+    alpha, beta = _alpha_beta(network, nbytes, hops)
+    return rounds * (alpha + nbytes * beta)
+
+
+def allgather_time(
+    network: NetworkModel, n_ranks: int, nbytes_per_rank: int, hops: int = 1
+) -> float:
+    """Ring allgather: ``P - 1`` steps of one block each."""
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_ranks == 1:
+        return 0.0
+    alpha, beta = _alpha_beta(network, nbytes_per_rank, hops)
+    return (n_ranks - 1) * (alpha + nbytes_per_rank * beta)
+
+
+def halo_exchange_time(
+    network: NetworkModel, nbytes_per_neighbor: int, n_neighbors: int = 6, hops: int = 1
+) -> float:
+    """Nearest-neighbour halo exchange (MiniMD/MiniFE ghost exchange).
+
+    Sends to all neighbours can be overlapped on the NIC; the model charges
+    one latency plus the serialisation of all outgoing halo data.
+    """
+    if n_neighbors < 0:
+        raise ValueError("n_neighbors must be non-negative")
+    if n_neighbors == 0:
+        return 0.0
+    alpha, beta = _alpha_beta(network, nbytes_per_neighbor, hops)
+    return alpha + n_neighbors * nbytes_per_neighbor * beta

@@ -1,0 +1,164 @@
+"""Simulated communicators and ranks.
+
+A :class:`Communicator` owns one :class:`Rank` handle per MPI process,
+including that process's NIC injection queue and message-matching queues.
+Rank methods come in two flavours:
+
+* generator methods (``send``, ``recv``, ``barrier``) to be used inside
+  processes running on the discrete-event engine (``yield from rank.recv()``),
+* immediate methods (``isend``) that only enqueue work and return the
+  delivery record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.mpi.network import NetworkModel, NICModel, omni_path
+from repro.mpi.p2p import ANY_SOURCE, ANY_TAG, Message, MessageQueue
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Delay, SimEvent, WaitEvent
+
+
+class Communicator:
+    """A group of simulated MPI ranks sharing one network.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine the ranks run on.
+    size:
+        Number of ranks.
+    network:
+        Message timing parameters (defaults to the Omni-Path preset).
+    cluster / placements:
+        Optional physical placement; used to derive hop counts between ranks
+        (ranks on the same node exchange messages through shared memory at a
+        reduced latency).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        size: int,
+        *,
+        network: Optional[NetworkModel] = None,
+        cluster: Optional[Cluster] = None,
+        placements: Optional[Sequence[Sequence]] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.engine = engine
+        self.size = size
+        self.network = network if network is not None else omni_path()
+        self.cluster = cluster
+        self.placements = list(placements) if placements is not None else None
+        self.ranks: List[Rank] = [Rank(self, r) for r in range(size)]
+        self._barrier_count = 0
+        self._barrier_event: Optional[SimEvent] = None
+        self._barrier_arrived = 0
+
+    # ------------------------------------------------------------------
+    def rank(self, index: int) -> "Rank":
+        if not 0 <= index < self.size:
+            raise IndexError(f"rank {index} out of range for size {self.size}")
+        return self.ranks[index]
+
+    def hops_between(self, rank_a: int, rank_b: int) -> int:
+        """Switch hops between two ranks (0 = same node / shared memory)."""
+        if self.cluster is None or self.placements is None:
+            return 0 if rank_a == rank_b else 1
+        node_a = self.placements[rank_a][0].node_id
+        node_b = self.placements[rank_b][0].node_id
+        return self.cluster.hops_between(node_a, node_b)
+
+    # ------------------------------------------------------------------
+    def _barrier_wait(self) -> Generator:
+        """Internal: one rank entering the communicator barrier."""
+        if self._barrier_event is None:
+            self._barrier_event = self.engine.event(f"comm.barrier{self._barrier_count}")
+        event = self._barrier_event
+        self._barrier_arrived += 1
+        if self._barrier_arrived == self.size:
+            self._barrier_arrived = 0
+            self._barrier_count += 1
+            self._barrier_event = None
+            # A real barrier costs roughly a small log(P) latency term.
+            cost = self.network.latency_s * max(1, int(np.ceil(np.log2(self.size))))
+            release = event
+            self.engine.schedule(cost, lambda: release.trigger(None, time=self.engine.now))
+        yield WaitEvent(event)
+
+
+class Rank:
+    """One simulated MPI process's communication endpoint."""
+
+    def __init__(self, comm: Communicator, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        self.queue = MessageQueue(comm.engine, rank)
+        self.nic = NICModel(comm.network)
+        #: messages this rank has fully sent (injection + delivery scheduled)
+        self.sent: List[Message] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> SimulationEngine:
+        return self.comm.engine
+
+    # ------------------------------------------------------------------
+    def isend(
+        self, dest: int, nbytes: int, *, tag: int = 0, payload: Any = None
+    ) -> Message:
+        """Post a non-blocking send now; returns the message with its delivery time."""
+        hops = self.comm.hops_between(self.rank, dest)
+        self.nic.hops = hops
+        record = self.nic.submit(nbytes, self.engine.now, label=f"{self.rank}->{dest}#{tag}")
+        message = Message(
+            source=self.rank,
+            dest=dest,
+            tag=tag,
+            nbytes=nbytes,
+            payload=payload,
+            send_time=self.engine.now,
+            arrival_time=record.delivery_time,
+        )
+        self.sent.append(message)
+        target_queue = self.comm.rank(dest).queue
+        delay = max(record.delivery_time - self.engine.now, 0.0)
+        self.engine.schedule(delay, lambda: self._deliver(target_queue, message))
+        return message
+
+    def _deliver(self, queue: MessageQueue, message: Message) -> None:
+        message.arrival_time = self.engine.now
+        queue.deliver(message)
+
+    def send(self, dest: int, nbytes: int, *, tag: int = 0, payload: Any = None) -> Generator:
+        """Blocking send: returns (via StopIteration value) once injection completes."""
+        message = self.isend(dest, nbytes, tag=tag, payload=payload)
+        injection_done = self.nic.log[-1].injection_done
+        wait = max(injection_done - self.engine.now, 0.0)
+        if wait > 0:
+            yield Delay(wait)
+        return message
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; the generator's return value is the matched message."""
+        event = self.queue.post_receive(source, tag)
+        message = yield WaitEvent(event)
+        return message
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> SimEvent:
+        """Non-blocking receive: returns the completion event."""
+        return self.queue.post_receive(source, tag)
+
+    def barrier(self) -> Generator:
+        """Communicator-wide barrier."""
+        yield from self.comm._barrier_wait()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rank({self.rank}/{self.comm.size})"

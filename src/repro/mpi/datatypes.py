@@ -1,0 +1,80 @@
+"""Element datatypes and buffer descriptors for the simulated MPI layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI element datatype: a name and a size in bytes."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 1:
+            raise ValueError("datatype size must be >= 1 byte")
+
+    def extent(self, count: int) -> int:
+        """Total bytes of ``count`` elements."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return count * self.size_bytes
+
+
+#: Common predefined datatypes.
+DOUBLE = Datatype("MPI_DOUBLE", 8)
+FLOAT = Datatype("MPI_FLOAT", 4)
+INT = Datatype("MPI_INT", 4)
+BYTE = Datatype("MPI_BYTE", 1)
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """A (count, datatype) communication buffer description.
+
+    The simulation transfers *sizes*, not payloads; an optional ``array``
+    holds real data when examples want to verify end-to-end content delivery.
+    """
+
+    count: int
+    datatype: Datatype = DOUBLE
+    array: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if self.array is not None and self.array.size != self.count:
+            raise ValueError(
+                f"array has {self.array.size} elements but count={self.count}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return self.datatype.extent(self.count)
+
+    def partition(self, n_partitions: int) -> list["BufferSpec"]:
+        """Split into ``n_partitions`` near-equal contiguous pieces.
+
+        Mirrors the paper's model of partitioned communication: "each thread
+        is assigned an equal, contiguous portion of the communication buffer".
+        Earlier partitions receive the remainder elements.
+        """
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        base = self.count // n_partitions
+        remainder = self.count % n_partitions
+        pieces = []
+        offset = 0
+        for i in range(n_partitions):
+            size = base + (1 if i < remainder else 0)
+            chunk = None
+            if self.array is not None:
+                chunk = self.array[offset : offset + size]
+            pieces.append(BufferSpec(size, self.datatype, chunk))
+            offset += size
+        return pieces

@@ -1,0 +1,91 @@
+"""Point-to-point messaging for simulated ranks.
+
+A :class:`MessageQueue` implements MPI-style matching (source, tag) with
+wildcard support; :class:`repro.mpi.comm.Rank` builds ``send`` / ``recv`` /
+``isend`` / ``irecv`` on top of it, using the network model for timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import SimEvent
+
+#: Wildcards mirroring ``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG``.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    """An in-flight or delivered message."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: int
+    payload: Any = None
+    send_time: float = 0.0
+    arrival_time: float = 0.0
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this message satisfies a receive posted for (source, tag)."""
+        source_ok = source == ANY_SOURCE or source == self.source
+        tag_ok = tag == ANY_TAG or tag == self.tag
+        return source_ok and tag_ok
+
+
+@dataclass
+class _PostedReceive:
+    source: int
+    tag: int
+    event: SimEvent
+
+
+class MessageQueue:
+    """Unexpected-message queue plus posted-receive queue of one rank.
+
+    Matching follows MPI ordering rules: messages from the same source are
+    matched in arrival order; posted receives are matched in post order.
+    """
+
+    def __init__(self, engine: SimulationEngine, rank: int) -> None:
+        self.engine = engine
+        self.rank = rank
+        self._unexpected: List[Message] = []
+        self._posted: List[_PostedReceive] = []
+        #: Count of messages ever delivered to this queue (for stats/tests).
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        """Called by the network when a message arrives at this rank."""
+        self.delivered += 1
+        for idx, posted in enumerate(self._posted):
+            if message.matches(posted.source, posted.tag):
+                self._posted.pop(idx)
+                posted.event.trigger(message, time=self.engine.now)
+                return
+        self._unexpected.append(message)
+
+    def post_receive(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> SimEvent:
+        """Post a receive; the returned event triggers with the matched message."""
+        event = self.engine.event(f"recv[{self.rank}]<-{source}#{tag}")
+        for idx, message in enumerate(self._unexpected):
+            if message.matches(source, tag):
+                self._unexpected.pop(idx)
+                event.trigger(message, time=self.engine.now)
+                return event
+        self._posted.append(_PostedReceive(source, tag, event))
+        return event
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_unexpected(self) -> int:
+        return len(self._unexpected)
+
+    @property
+    def pending_receives(self) -> int:
+        return len(self._posted)

@@ -1,0 +1,84 @@
+"""Result records of one executed ``parallel for nowait`` region."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ThreadExecution:
+    """What one thread did inside a single loop region.
+
+    All times are physical simulation times in seconds; ``start_ns`` /
+    ``end_ns`` are the raw monotonic-clock readings the instrumentation layer
+    records (which are **not** comparable across threads — the derived
+    ``compute time`` is).
+    """
+
+    thread_id: int
+    items: np.ndarray
+    work_s: float
+    noise_s: float
+    start_time: float
+    end_time: float
+    start_ns: int
+    end_ns: int
+
+    @property
+    def wall_s(self) -> float:
+        """Physical elapsed time of the thread's loop body."""
+        return self.end_time - self.start_time
+
+    @property
+    def compute_time_s(self) -> float:
+        """The paper's derived metric: elapsed time from its own clock."""
+        return (self.end_ns - self.start_ns) * 1.0e-9
+
+
+@dataclass
+class LoopExecution:
+    """All threads' executions for one region instance (one iteration).
+
+    Attributes
+    ----------
+    region:
+        Name of the instrumented compute region.
+    iteration:
+        Application iteration index.
+    threads:
+        Per-thread execution records, indexed by thread id.
+    region_start / region_end:
+        Physical times at which the first thread entered (post-barrier) and
+        the last thread left the loop body.
+    """
+
+    region: str
+    iteration: int
+    threads: List[ThreadExecution] = field(default_factory=list)
+    region_start: float = 0.0
+    region_end: float = 0.0
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    def compute_times_s(self) -> np.ndarray:
+        """Per-thread derived compute times (the paper's arrival estimate)."""
+        return np.array([t.compute_time_s for t in self.threads])
+
+    def wall_times_s(self) -> np.ndarray:
+        """Per-thread physical elapsed times (ground truth, for validation)."""
+        return np.array([t.wall_s for t in self.threads])
+
+    def arrival_spread_s(self) -> float:
+        """Latest minus earliest thread completion."""
+        walls = self.wall_times_s()
+        return float(walls.max() - walls.min())
+
+    def reclaimable_time_s(self) -> float:
+        """Σ over threads of (latest arrival − this thread's arrival)."""
+        walls = self.wall_times_s()
+        return float(np.sum(walls.max() - walls))

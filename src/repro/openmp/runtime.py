@@ -1,0 +1,281 @@
+"""Execution of instrumented ``parallel for nowait`` regions.
+
+This is the simulated counterpart of the paper's Listing 1::
+
+    #pragma omp parallel
+    {
+        int t = omp_get_thread_num();
+        #pragma omp barrier
+        clock_gettime(CLOCK_MONOTONIC, &t_start[i][t]);
+        #pragma omp for nowait
+        for (...) { /* work */ }
+        clock_gettime(CLOCK_MONOTONIC, &t_end[i][t]);
+        #pragma omp barrier
+    }
+
+Two equivalent execution paths are provided:
+
+* :meth:`OpenMPRuntime.run_region` (``detailed=True``) — every thread is a
+  process on the discrete-event engine; the entry barrier, per-chunk work,
+  noise preemptions and the exit barrier all happen as events.  Used by the
+  examples and by small-scale integration tests.
+* :meth:`OpenMPRuntime.run_region` (``detailed=False``, default) — the same
+  schedule/cost/noise models evaluated in closed form, without the engine.
+  Used by the full-scale campaign.  For static schedules with a fixed noise
+  seed the two paths produce identical per-thread compute times (asserted in
+  ``tests/integration/test_paths_agree.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.openmp.barrier import Barrier
+from repro.openmp.forloop import LoopExecution, ThreadExecution
+from repro.openmp.schedule import LoopSchedule, StaticSchedule
+from repro.openmp.team import ThreadTeam
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Delay
+
+
+@dataclass(frozen=True)
+class RegionTiming:
+    """Compact raw-timestamp view of one executed region (what a tracing
+    tool would dump): per-thread start/end monotonic readings in ns."""
+
+    region: str
+    iteration: int
+    start_ns: np.ndarray
+    end_ns: np.ndarray
+
+    @property
+    def compute_times_s(self) -> np.ndarray:
+        """Derived per-thread compute times in seconds."""
+        return (self.end_ns - self.start_ns) * 1.0e-9
+
+
+class OpenMPRuntime:
+    """Simulated OpenMP runtime bound to one thread team.
+
+    Parameters
+    ----------
+    team:
+        The process's thread team (cores, clocks, noise).
+    engine:
+        Optional event engine; required only for the detailed path.  A fresh
+        engine is created lazily when needed.
+    fork_overhead_s / join_overhead_s:
+        Cost of entering/leaving the parallel region (libgomp-style
+        microsecond-scale overheads); included for realism, cancelled out by
+        the compute-time derivation exactly as on real hardware.
+    """
+
+    def __init__(
+        self,
+        team: ThreadTeam,
+        engine: Optional[SimulationEngine] = None,
+        *,
+        fork_overhead_s: float = 2.0e-6,
+        join_overhead_s: float = 1.0e-6,
+    ) -> None:
+        self.team = team
+        self._engine = engine
+        self.fork_overhead_s = fork_overhead_s
+        self.join_overhead_s = join_overhead_s
+        #: physical time at which the next region starts (advances as regions run)
+        self.current_time = 0.0
+        #: executed regions, in order
+        self.history: List[LoopExecution] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> SimulationEngine:
+        if self._engine is None:
+            self._engine = SimulationEngine()
+        return self._engine
+
+    @property
+    def n_threads(self) -> int:
+        return self.team.n_threads
+
+    # ------------------------------------------------------------------
+    def run_region(
+        self,
+        item_costs: Sequence[float],
+        *,
+        schedule: Optional[LoopSchedule] = None,
+        region: str = "compute",
+        iteration: int = 0,
+        detailed: bool = False,
+    ) -> LoopExecution:
+        """Execute one instrumented ``parallel for nowait`` region.
+
+        Parameters
+        ----------
+        item_costs:
+            Pure compute cost (seconds) of every loop iteration.
+        schedule:
+            Loop schedule; defaults to ``static`` (the Mantevo default).
+        region, iteration:
+            Labels recorded in the result.
+        detailed:
+            Run on the discrete-event engine instead of the closed form.
+        """
+        sched = schedule if schedule is not None else StaticSchedule()
+        costs = np.asarray(item_costs, dtype=np.float64)
+        if detailed:
+            execution = self._run_detailed(costs, sched, region, iteration)
+        else:
+            execution = self._run_fast(costs, sched, region, iteration)
+        self.history.append(execution)
+        # next region begins after the last thread finished plus the join cost
+        self.current_time = execution.region_end + self.join_overhead_s
+        return execution
+
+    # ------------------------------------------------------------------
+    # closed-form path
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self,
+        costs: np.ndarray,
+        schedule: LoopSchedule,
+        region: str,
+        iteration: int,
+    ) -> LoopExecution:
+        outcome = schedule.simulate(costs, self.n_threads)
+        region_start = self.current_time + self.fork_overhead_s
+        execution = LoopExecution(
+            region=region, iteration=iteration, region_start=region_start
+        )
+        end_times = np.empty(self.n_threads)
+        for thread in self.team.threads:
+            work = float(outcome.busy_time[thread.thread_id])
+            jittered = self.team.noise.jittered_compute(work, rng=self.team.rng)
+            noise_extra = self.team.noise.delay_over(thread.core, region_start, jittered)
+            wall = jittered + noise_extra
+            start_ns = thread.read_clock_ns(region_start)
+            end_time = region_start + wall
+            end_ns = thread.read_clock_ns(end_time)
+            end_times[thread.thread_id] = end_time
+            execution.threads.append(
+                ThreadExecution(
+                    thread_id=thread.thread_id,
+                    items=outcome.assignment[thread.thread_id],
+                    work_s=work,
+                    noise_s=wall - work,
+                    start_time=region_start,
+                    end_time=end_time,
+                    start_ns=start_ns,
+                    end_ns=end_ns,
+                )
+            )
+        execution.region_end = float(end_times.max())
+        return execution
+
+    # ------------------------------------------------------------------
+    # discrete-event path
+    # ------------------------------------------------------------------
+    def _run_detailed(
+        self,
+        costs: np.ndarray,
+        schedule: LoopSchedule,
+        region: str,
+        iteration: int,
+    ) -> LoopExecution:
+        engine = self.engine
+        n_threads = self.n_threads
+        entry_barrier = Barrier(engine, n_threads, name=f"{region}.entry")
+        exit_barrier = Barrier(engine, n_threads, name=f"{region}.exit")
+        static_assignment = schedule.static_assignment(len(costs), n_threads)
+        shared_state = {"cursor": 0}
+        records: List[Optional[ThreadExecution]] = [None] * n_threads
+        region_start = self.current_time + self.fork_overhead_s
+
+        def thread_body(thread_id: int) -> Generator:
+            thread = self.team.thread(thread_id)
+            # wait until the fork point of this region
+            if engine.now < region_start:
+                yield Delay(region_start - engine.now)
+            yield from entry_barrier.wait(thread_id)
+            start_time = engine.now
+            start_ns = thread.read_clock_ns(start_time)
+            total_work = 0.0
+            total_noise = 0.0
+            executed: List[np.ndarray] = []
+            if static_assignment is not None:
+                my_items = static_assignment[thread_id]
+                chunks = [my_items] if len(my_items) else []
+            else:
+                chunks = None  # dynamic: pull from the shared cursor below
+            while True:
+                if chunks is not None:
+                    if not chunks:
+                        break
+                    items = chunks.pop(0)
+                else:
+                    cursor = shared_state["cursor"]
+                    if cursor >= len(costs):
+                        break
+                    chunk_size = getattr(schedule, "chunk", 1) or 1
+                    items = np.arange(cursor, min(cursor + chunk_size, len(costs)))
+                    shared_state["cursor"] = cursor + len(items)
+                work = float(costs[items].sum())
+                jittered = self.team.noise.jittered_compute(work, rng=self.team.rng)
+                noise_extra = self.team.noise.delay_over(
+                    thread.core, engine.now, jittered
+                )
+                executed.append(items)
+                total_work += work
+                total_noise += (jittered - work) + noise_extra
+                if jittered + noise_extra > 0:
+                    yield Delay(jittered + noise_extra)
+            end_time = engine.now
+            end_ns = thread.read_clock_ns(end_time)
+            records[thread_id] = ThreadExecution(
+                thread_id=thread_id,
+                items=(
+                    np.concatenate(executed)
+                    if executed
+                    else np.empty(0, dtype=np.int64)
+                ),
+                work_s=total_work,
+                noise_s=total_noise,
+                start_time=start_time,
+                end_time=end_time,
+                start_ns=start_ns,
+                end_ns=end_ns,
+            )
+            yield from exit_barrier.wait(thread_id)
+
+        processes = [
+            engine.spawn(thread_body(t), name=f"{region}.it{iteration}.t{t}")
+            for t in range(n_threads)
+        ]
+        engine.run_until_complete(processes)
+
+        execution = LoopExecution(
+            region=region, iteration=iteration, region_start=region_start
+        )
+        for record in records:
+            assert record is not None  # every thread ran to completion
+            execution.threads.append(record)
+        execution.region_end = max(rec.end_time for rec in execution.threads)
+        return execution
+
+    # ------------------------------------------------------------------
+    def timings(self) -> List[RegionTiming]:
+        """Raw-timestamp view of every executed region (trace-file style)."""
+        result = []
+        for execution in self.history:
+            result.append(
+                RegionTiming(
+                    region=execution.region,
+                    iteration=execution.iteration,
+                    start_ns=np.array([t.start_ns for t in execution.threads]),
+                    end_ns=np.array([t.end_ns for t in execution.threads]),
+                )
+            )
+        return result

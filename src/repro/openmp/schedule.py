@@ -1,0 +1,231 @@
+"""OpenMP loop schedules.
+
+A schedule maps loop iterations (work items) to threads.  Two interfaces are
+exposed because the execution simulator has two paths:
+
+* :meth:`LoopSchedule.static_assignment` — for schedules whose assignment is
+  known before execution (``static`` and ``static,chunk``), return the item
+  indices of every thread.
+* :meth:`LoopSchedule.simulate` — for work-stealing-style schedules
+  (``dynamic``, ``guided``) the assignment depends on execution order; the
+  closed-form simulation replays the "grab the next chunk when idle" policy
+  against the per-item cost vector and returns both the per-thread busy time
+  and the realised assignment.
+
+The default for the proxy applications is ``static`` — the OpenMP default for
+``parallel for`` in the Mantevo apps the paper instruments — which is exactly
+what creates MiniFE's deterministic imbalance (200 planes over 48 threads).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of replaying a schedule against a per-item cost vector.
+
+    Attributes
+    ----------
+    assignment:
+        ``assignment[t]`` is the array of item indices executed by thread ``t``
+        in execution order.
+    busy_time:
+        Total compute time per thread (sum of its items' costs).
+    chunks:
+        The chunks handed out, as ``(thread, start_item, n_items)`` tuples in
+        hand-out order (useful for tests and traces).
+    """
+
+    assignment: List[np.ndarray]
+    busy_time: np.ndarray
+    chunks: List[Tuple[int, int, int]]
+
+
+class LoopSchedule(ABC):
+    """Abstract iteration-to-thread assignment policy."""
+
+    #: schedule kind string, e.g. ``"static"``
+    kind: str = "abstract"
+
+    @abstractmethod
+    def simulate(self, costs: np.ndarray, n_threads: int) -> ScheduleOutcome:
+        """Replay the schedule on ``costs`` (one entry per loop iteration)."""
+
+    def static_assignment(
+        self, n_items: int, n_threads: int
+    ) -> Optional[List[np.ndarray]]:
+        """Assignment independent of costs, or ``None`` if execution-dependent."""
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(costs: np.ndarray, n_threads: int) -> np.ndarray:
+        arr = np.asarray(costs, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("costs must be a 1-D array (one entry per iteration)")
+        if np.any(arr < 0):
+            raise ValueError("per-iteration costs must be non-negative")
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class StaticSchedule(LoopSchedule):
+    """``schedule(static[, chunk])``.
+
+    Without a chunk size the iterations are divided into ``n_threads``
+    contiguous blocks of near-equal length (earlier threads get the remainder,
+    as mainstream OpenMP runtimes do).  With a chunk size, chunks are dealt
+    round-robin.
+    """
+
+    kind = "static"
+
+    def __init__(self, chunk: Optional[int] = None) -> None:
+        if chunk is not None and chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.chunk = chunk
+
+    def static_assignment(self, n_items: int, n_threads: int) -> List[np.ndarray]:
+        if n_items < 0:
+            raise ValueError("n_items must be non-negative")
+        indices = np.arange(n_items)
+        if self.chunk is None:
+            base = n_items // n_threads
+            remainder = n_items % n_threads
+            sizes = np.full(n_threads, base, dtype=np.int64)
+            sizes[:remainder] += 1
+            offsets = np.concatenate(([0], np.cumsum(sizes)))
+            return [
+                indices[offsets[t] : offsets[t + 1]] for t in range(n_threads)
+            ]
+        chunks = [
+            indices[start : start + self.chunk]
+            for start in range(0, n_items, self.chunk)
+        ]
+        assignment: List[List[np.ndarray]] = [[] for _ in range(n_threads)]
+        for idx, chunk in enumerate(chunks):
+            assignment[idx % n_threads].append(chunk)
+        return [
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            for parts in assignment
+        ]
+
+    def simulate(self, costs: np.ndarray, n_threads: int) -> ScheduleOutcome:
+        arr = self._validate(costs, n_threads)
+        assignment = self.static_assignment(len(arr), n_threads)
+        busy = np.array([float(arr[idx].sum()) for idx in assignment])
+        chunks = [
+            (t, int(idx[0]), len(idx)) for t, idx in enumerate(assignment) if len(idx)
+        ]
+        return ScheduleOutcome(assignment=assignment, busy_time=busy, chunks=chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StaticSchedule(chunk={self.chunk})"
+
+
+class _WorkQueueSchedule(LoopSchedule):
+    """Shared machinery for dynamic/guided: idle threads grab the next chunk."""
+
+    def _chunk_sizes(self, n_items: int, n_threads: int) -> List[int]:
+        raise NotImplementedError
+
+    def simulate(self, costs: np.ndarray, n_threads: int) -> ScheduleOutcome:
+        arr = self._validate(costs, n_threads)
+        n_items = len(arr)
+        sizes = self._chunk_sizes(n_items, n_threads)
+        # priority queue of (available_time, thread); ties broken by thread id
+        heap = [(0.0, t) for t in range(n_threads)]
+        heapq.heapify(heap)
+        assignment: List[List[np.ndarray]] = [[] for _ in range(n_threads)]
+        busy = np.zeros(n_threads)
+        chunks: List[Tuple[int, int, int]] = []
+        cursor = 0
+        for size in sizes:
+            end = min(cursor + size, n_items)
+            if end <= cursor:
+                break
+            available, thread = heapq.heappop(heap)
+            idx = np.arange(cursor, end)
+            cost = float(arr[idx].sum())
+            assignment[thread].append(idx)
+            busy[thread] += cost
+            chunks.append((thread, cursor, end - cursor))
+            heapq.heappush(heap, (available + cost, thread))
+            cursor = end
+        merged = [
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            for parts in assignment
+        ]
+        return ScheduleOutcome(assignment=merged, busy_time=busy, chunks=chunks)
+
+
+class DynamicSchedule(_WorkQueueSchedule):
+    """``schedule(dynamic[, chunk])`` — fixed-size chunks grabbed on demand."""
+
+    kind = "dynamic"
+
+    def __init__(self, chunk: int = 1) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.chunk = chunk
+
+    def _chunk_sizes(self, n_items: int, n_threads: int) -> List[int]:
+        n_chunks = (n_items + self.chunk - 1) // self.chunk
+        return [self.chunk] * n_chunks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DynamicSchedule(chunk={self.chunk})"
+
+
+class GuidedSchedule(_WorkQueueSchedule):
+    """``schedule(guided[, chunk])`` — geometrically shrinking chunks."""
+
+    kind = "guided"
+
+    def __init__(self, min_chunk: int = 1) -> None:
+        if min_chunk < 1:
+            raise ValueError("min_chunk must be >= 1")
+        self.min_chunk = min_chunk
+
+    def _chunk_sizes(self, n_items: int, n_threads: int) -> List[int]:
+        sizes: List[int] = []
+        remaining = n_items
+        while remaining > 0:
+            size = max(self.min_chunk, remaining // (2 * n_threads))
+            size = min(size, remaining)
+            sizes.append(size)
+            remaining -= size
+        return sizes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GuidedSchedule(min_chunk={self.min_chunk})"
+
+
+def schedule_from_name(name: str, chunk: Optional[int] = None) -> LoopSchedule:
+    """Build a schedule from an OpenMP-style clause string.
+
+    ``"static"``, ``"static,8"``, ``"dynamic"``, ``"dynamic,4"``, ``"guided"``.
+    """
+    text = name.strip().lower()
+    if "," in text:
+        text, chunk_text = text.split(",", 1)
+        chunk = int(chunk_text)
+    text = text.strip()
+    if text == "static":
+        return StaticSchedule(chunk)
+    if text == "dynamic":
+        return DynamicSchedule(chunk if chunk is not None else 1)
+    if text == "guided":
+        return GuidedSchedule(chunk if chunk is not None else 1)
+    raise ValueError(f"unknown schedule kind {name!r}")

@@ -1,0 +1,91 @@
+"""Thread teams: the OpenMP thread pool of one simulated MPI process.
+
+Each team member is pinned to a :class:`~repro.cluster.topology.Core` (the
+paper's jobs use all 48 hardware thread contexts of a node for their 8
+processes × threads layout) and owns that core's monotonic clock, which is
+how the instrumentation layer obtains per-thread timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.clock import ClockDomain, MonotonicClock
+from repro.cluster.noise import OSNoiseModel
+from repro.cluster.topology import Core
+
+
+@dataclass
+class TeamThread:
+    """One OpenMP thread: an index within its team plus its pinned core."""
+
+    thread_id: int
+    core: Core
+    clock: MonotonicClock
+
+    def read_clock_ns(self, true_time_s: float) -> int:
+        """``clock_gettime(CLOCK_MONOTONIC)`` on this thread's core."""
+        return self.clock.read_ns(true_time_s)
+
+
+class ThreadTeam:
+    """The OpenMP thread team of one process.
+
+    Parameters
+    ----------
+    cores:
+        The cores this process is bound to (one thread per core, matching the
+        paper's one-thread-per-hardware-context configuration).
+    clock_domain:
+        Source of per-core clocks.
+    noise_model:
+        OS-noise model applied to this process's cores.
+    rng:
+        Per-team random generator (thread-level cost jitter).
+    """
+
+    def __init__(
+        self,
+        cores: Sequence[Core],
+        clock_domain: ClockDomain,
+        noise_model: OSNoiseModel,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if len(cores) < 1:
+            raise ValueError("a thread team needs at least one core")
+        self.cores = list(cores)
+        self.clock_domain = clock_domain
+        self.noise = noise_model
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.threads: List[TeamThread] = [
+            TeamThread(thread_id=t, core=core, clock=clock_domain.clock_for(core))
+            for t, core in enumerate(self.cores)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    def thread(self, thread_id: int) -> TeamThread:
+        return self.threads[thread_id]
+
+    def node_id(self) -> int:
+        """Node hosting this team (teams never span nodes)."""
+        return self.cores[0].node_id
+
+    def spans_sockets(self) -> bool:
+        """Whether the team's threads are spread over more than one socket."""
+        return len({core.socket_id for core in self.cores}) > 1
+
+    def __len__(self) -> int:
+        return self.n_threads
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ThreadTeam(n_threads={self.n_threads}, node={self.node_id()}, "
+            f"sockets={sorted({c.socket_id for c in self.cores})})"
+        )

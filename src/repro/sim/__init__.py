@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is the substrate every simulated component (OpenMP threads, MPI
+ranks, the network, OS noise daemons) runs on.  It is intentionally small:
+
+* :class:`~repro.sim.engine.SimulationEngine` — the event loop.
+* :class:`~repro.sim.process.SimProcess` — a generator-based coroutine
+  scheduled on the engine; it yields :class:`~repro.sim.events.Delay`,
+  :class:`~repro.sim.events.WaitEvent` or :class:`~repro.sim.events.Signal`
+  commands.
+* :class:`~repro.sim.events.SimEvent` — a one-shot event processes can wait
+  on (used to build barriers, message arrival notifications, ...).
+* :class:`~repro.sim.random.RandomStreams` — hierarchical, reproducible
+  ``numpy`` RNG streams keyed by component names.
+
+Time is a ``float`` number of **seconds** since the start of the simulation.
+Determinism: with identical seeds and identical process creation order every
+run produces bit-identical event traces.
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Delay, SimEvent, Signal, WaitEvent
+from repro.sim.process import SimProcess
+from repro.sim.random import RandomStreams
+
+__all__ = [
+    "SimulationEngine",
+    "SimProcess",
+    "SimEvent",
+    "Delay",
+    "WaitEvent",
+    "Signal",
+    "RandomStreams",
+]

@@ -1,0 +1,117 @@
+"""Event primitives for the discrete-event engine.
+
+A simulated process communicates with the engine by *yielding* command
+objects.  Three commands exist:
+
+``Delay(dt)``
+    Suspend the process for ``dt`` simulated seconds.
+``WaitEvent(event)``
+    Suspend until ``event`` is triggered.  If the event has already been
+    triggered the process resumes immediately (at the current time).
+``Signal(event, value)``
+    Trigger ``event`` (waking all waiters) and continue without suspending.
+
+:class:`SimEvent` is the one-shot synchronisation object those commands refer
+to.  Higher-level primitives (barriers, channels, partitioned-communication
+completion flags) are built from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+class SimEvent:
+    """A one-shot event that simulated processes can wait on.
+
+    An event starts *untriggered*.  Once :meth:`trigger` is called it stays
+    triggered forever and stores an optional payload ``value``.  Waiting on a
+    triggered event never blocks.
+    """
+
+    __slots__ = ("name", "_triggered", "_value", "_waiters", "trigger_time")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+        #: Simulation time at which the event was triggered (``None`` before).
+        self.trigger_time: Optional[float] = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`trigger` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """Payload passed to :meth:`trigger` (``None`` until triggered)."""
+        return self._value
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback`` to run when the event triggers.
+
+        Used by the engine; user code should yield :class:`WaitEvent` instead.
+        """
+        if self._triggered:
+            raise RuntimeError(
+                f"cannot add waiter to already-triggered event {self.name!r}"
+            )
+        self._waiters.append(callback)
+
+    def trigger(self, value: Any = None, *, time: Optional[float] = None) -> None:
+        """Trigger the event, waking every registered waiter exactly once."""
+        if self._triggered:
+            raise RuntimeError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self.trigger_time = time
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"SimEvent({self.name!r}, {state})"
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Command: suspend the yielding process for ``duration`` seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative delay: {self.duration}")
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Command: suspend the yielding process until ``event`` triggers."""
+
+    event: SimEvent
+
+
+@dataclass(frozen=True)
+class Signal:
+    """Command: trigger ``event`` with ``value`` and continue immediately."""
+
+    event: SimEvent
+    value: Any = None
+
+
+@dataclass(order=True)
+class _ScheduledCallback:
+    """Internal heap entry: a callback to run at ``time``.
+
+    ``seq`` breaks ties so that callbacks scheduled earlier run earlier,
+    which keeps the engine deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)

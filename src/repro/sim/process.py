@@ -1,0 +1,129 @@
+"""Generator-based simulated processes.
+
+A process body is a Python generator.  Each ``yield`` hands a command back to
+the engine:
+
+>>> def worker(engine):
+...     yield Delay(1.0)              # compute for 1 simulated second
+...     yield Signal(done_event)      # announce completion
+...     value = yield WaitEvent(other) # block until `other` triggers
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.sim.events import Delay, SimEvent, Signal, WaitEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import SimulationEngine
+
+
+class SimProcess:
+    """A coroutine scheduled on a :class:`~repro.sim.engine.SimulationEngine`.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, used in traces and error messages.
+    finished:
+        ``True`` once the generator has returned.
+    result:
+        The generator's return value (``StopIteration.value``).
+    start_time / finish_time:
+        Simulation times at which the body first ran and at which it
+        completed.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "_generator",
+        "finished",
+        "result",
+        "start_time",
+        "finish_time",
+        "done_event",
+        "failure",
+    )
+
+    def __init__(
+        self,
+        engine: "SimulationEngine",
+        generator: Generator[Any, Any, Any],
+        *,
+        name: str = "process",
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self._generator = generator
+        self.finished = False
+        self.result: Any = None
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        #: Triggered (with the process result) when the body returns.
+        self.done_event = SimEvent(f"{name}.done")
+        #: Exception raised by the body, re-raised by the engine caller.
+        self.failure: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def _step_initial(self) -> None:
+        self.start_time = self.engine.now
+        self._step(None)
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator by one segment and act on the command."""
+        self.engine.record_trace("resume", self.name)
+        try:
+            command = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # propagate simulated failures
+            self.failure = exc
+            self._finish(None)
+            raise
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self.engine.schedule(command.duration, lambda: self._step(None))
+        elif isinstance(command, WaitEvent):
+            event = command.event
+            if event.triggered:
+                # resume on the next engine tick at the same time to preserve
+                # deterministic ordering with other ready processes
+                self.engine.schedule(0.0, lambda: self._step(event.value))
+            else:
+                event.add_waiter(
+                    lambda value: self.engine.schedule(0.0, lambda: self._step(value))
+                )
+        elif isinstance(command, Signal):
+            command.event.trigger(command.value, time=self.engine.now)
+            self.engine.schedule(0.0, lambda: self._step(None))
+        elif command is None:
+            # bare `yield`: cooperative re-schedule at the same time
+            self.engine.schedule(0.0, lambda: self._step(None))
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self.finish_time = self.engine.now
+        if not self.done_event.triggered:
+            self.done_event.trigger(result, time=self.engine.now)
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Simulated wall time spent by the process (``None`` if unfinished)."""
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"SimProcess({self.name!r}, {state})"

@@ -1,0 +1,133 @@
+"""Shapiro–Wilk W test for normality (batch vectorised).
+
+Implements Royston's AS R94 approximation (Royston 1995), valid for
+``3 <= n <= 5000``: the expected normal order statistics are approximated by
+Blom scores, the weight vector is normalised with Royston's polynomial
+corrections for the two largest weights, and the p-value is obtained from the
+normalising transformation of ``1 - W``.
+
+All groups in a batch share the same ``n``, so the weight vector is computed
+once and applied to the whole sorted matrix — this is what makes a 16 000 ×
+48 Table-1 pass run in milliseconds.
+
+Validated against ``scipy.stats.shapiro`` in the test suite (the two use the
+same approximation; small differences < 1e-4 in W stem from SciPy's Fortran
+implementation of the order-statistic correlation and are asserted to stay
+below that tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy.special import ndtr, ndtri  # type: ignore[import-untyped]
+
+
+@dataclass(frozen=True)
+class ShapiroWilkResult:
+    """Outcome of the Shapiro–Wilk test for a batch of groups."""
+
+    statistic: np.ndarray
+    pvalue: np.ndarray
+
+    def passes(self, alpha: float = 0.05) -> np.ndarray:
+        """Boolean mask of groups that *fail to reject* normality at ``alpha``."""
+        return self.pvalue > alpha
+
+
+# Royston (1995) polynomial coefficients (AS R94), highest order first.
+_C1 = np.array([-2.706056, 4.434685, -2.071190, -0.147981, 0.221157, 0.0])
+_C2 = np.array([-3.582633, 5.682633, -1.752461, -0.293762, 0.042981, 0.0])
+_C3 = np.array([-0.0006714, 0.025054, -0.39978, 0.54400])
+_C4 = np.array([-0.0020322, 0.062767, -0.77857, 1.38220])
+_C5 = np.array([0.0038915, -0.083751, -0.31082, -1.5861])
+_C6 = np.array([0.0030302, -0.082676, -0.48030])
+
+
+def shapiro_weights(n: int) -> np.ndarray:
+    """Royston's approximate Shapiro–Wilk weight vector for sample size ``n``."""
+    if n < 3:
+        raise ValueError(f"Shapiro–Wilk requires n >= 3, got {n}")
+    if n > 5000:
+        raise ValueError(f"Royston approximation is valid for n <= 5000, got {n}")
+    i = np.arange(1, n + 1, dtype=np.float64)
+    m = ndtri((i - 0.375) / (n + 0.25))
+    msq = float(m @ m)
+    c = m / np.sqrt(msq)
+    u = 1.0 / np.sqrt(n)
+    a = np.array(c)
+    if n > 5:
+        a_n = np.polyval(_C1, u) + c[-1]
+        a_n1 = np.polyval(_C2, u) + c[-2]
+        phi = (msq - 2.0 * m[-1] ** 2 - 2.0 * m[-2] ** 2) / (
+            1.0 - 2.0 * a_n**2 - 2.0 * a_n1**2
+        )
+        a[2:-2] = m[2:-2] / np.sqrt(phi)
+        a[-1], a[-2] = a_n, a_n1
+        a[0], a[1] = -a_n, -a_n1
+    else:
+        a_n = np.polyval(_C1, u) + c[-1]
+        phi = (msq - 2.0 * m[-1] ** 2) / (1.0 - 2.0 * a_n**2)
+        if n > 3:
+            a[1:-1] = m[1:-1] / np.sqrt(phi)
+        a[-1] = a_n
+        a[0] = -a_n
+    return a
+
+
+def _pvalue_from_w(w: np.ndarray, n: int) -> np.ndarray:
+    """Royston's normalising transformation of ``1 - W`` to a p-value."""
+    w = np.clip(w, 1e-12, 1.0 - 1e-12)
+    if n == 3:
+        # exact distribution for n = 3 (Shapiro & Wilk 1965)
+        pi6 = 6.0 / np.pi
+        stqr = np.arcsin(np.sqrt(0.75))
+        p = pi6 * (np.arcsin(np.sqrt(w)) - stqr)
+        return np.clip(p, 0.0, 1.0)
+    if n <= 11:
+        # Royston 1992 small-sample branch
+        gamma = -2.273 + 0.459 * n
+        lw = -np.log(gamma - np.log1p(-w))
+        mu = np.polyval(_C3, n)
+        sigma = np.exp(np.polyval(_C4, n))
+    else:
+        lw = np.log1p(-w)
+        logn = np.log(n)
+        mu = np.polyval(_C5, logn)
+        sigma = np.exp(np.polyval(_C6, logn))
+    z = (lw - mu) / sigma
+    return 1.0 - ndtr(z)
+
+
+def shapiro_wilk(x) -> ShapiroWilkResult:
+    """Shapiro–Wilk W test along the last axis of ``x``.
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(..., n)`` with ``3 <= n <= 5000``.
+
+    Returns
+    -------
+    ShapiroWilkResult
+        Per-group W statistic and p-value.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    n = arr.shape[-1]
+    a = shapiro_weights(n)
+    sorted_arr = np.sort(arr, axis=-1)
+    mean = sorted_arr.mean(axis=-1, keepdims=True)
+    ssq = np.sum((sorted_arr - mean) ** 2, axis=-1)
+    numerator = np.square(sorted_arr @ a)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w = np.where(ssq > 0, numerator / np.where(ssq > 0, ssq, 1.0), 1.0)
+    w = np.clip(w, 0.0, 1.0)
+    pvalue = _pvalue_from_w(w, n)
+    # Degenerate groups (zero variance) are maximally non-normal in practice:
+    # report W = 1 but p = 0 so they count as rejections, mirroring how the
+    # measurement pipeline treats constant arrival vectors.
+    degenerate = ssq <= 0
+    pvalue = np.where(degenerate, 0.0, pvalue)
+    return ShapiroWilkResult(statistic=np.asarray(w), pvalue=np.asarray(pvalue))

@@ -1,0 +1,18 @@
+"""Text-mode visualisation and CSV export of the paper's figures.
+
+The offline environment has no plotting backend, so figures are rendered as
+ASCII (for terminal inspection in the examples) and exported as CSV series
+(for external plotting).
+"""
+
+from repro.viz.ascii import ascii_histogram, ascii_percentile_plot, ascii_table
+from repro.viz.export import export_histogram_csv, export_percentiles_csv, export_rows_csv
+
+__all__ = [
+    "ascii_histogram",
+    "ascii_percentile_plot",
+    "ascii_table",
+    "export_histogram_csv",
+    "export_percentiles_csv",
+    "export_rows_csv",
+]

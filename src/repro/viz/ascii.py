@@ -1,0 +1,116 @@
+"""ASCII rendering of histograms, percentile plots and tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.stats.histogram import FixedWidthHistogram
+from repro.stats.percentiles import PercentileSeries
+
+
+def ascii_histogram(
+    histogram: FixedWidthHistogram,
+    *,
+    width: int = 60,
+    max_rows: int = 40,
+    unit_scale: float = 1.0e3,
+    unit_label: str = "ms",
+) -> str:
+    """Render a histogram as horizontal bars.
+
+    Bins are merged uniformly if there are more than ``max_rows`` of them so
+    the output stays terminal-sized; the merge factor is reported in the
+    header.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    counts = histogram.counts.astype(np.int64)
+    edges = histogram.edges
+    merge = max(int(np.ceil(len(counts) / max_rows)), 1)
+    if merge > 1:
+        pad = (-len(counts)) % merge
+        padded = np.concatenate([counts, np.zeros(pad, dtype=np.int64)])
+        counts = padded.reshape(-1, merge).sum(axis=1)
+        edges = edges[:: merge]
+        if len(edges) < len(counts) + 1:
+            edges = np.append(edges, histogram.edges[-1])
+    peak = counts.max() if counts.size else 1
+    lines = [
+        f"histogram: {histogram.total} samples, "
+        f"bin width {histogram.bin_width * unit_scale:g} {unit_label}"
+        + (f" (rendered {merge} bins/row)" if merge > 1 else "")
+    ]
+    for idx, count in enumerate(counts):
+        lo = edges[idx] * unit_scale
+        hi = edges[min(idx + 1, len(edges) - 1)] * unit_scale
+        bar = "#" * int(round(width * count / peak)) if peak else ""
+        lines.append(f"  [{lo:10.3f}, {hi:10.3f}) {unit_label} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def ascii_percentile_plot(
+    series: PercentileSeries,
+    *,
+    width: int = 72,
+    height: int = 20,
+    markers: Optional[Dict[float, str]] = None,
+) -> str:
+    """Render percentile trajectories versus iteration as a character grid."""
+    if width < 20 or height < 5:
+        raise ValueError("width must be >= 20 and height >= 5")
+    markers = markers or {5.0: ".", 25.0: "-", 50.0: "o", 75.0: "+", 95.0: "*"}
+    values = series.values
+    lo = float(values.min())
+    hi = float(values.max())
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n_iter = values.shape[1]
+    for p_idx, level in enumerate(series.percentiles):
+        marker = markers.get(level, "x")
+        for column in range(width):
+            iteration = min(int(column * n_iter / width), n_iter - 1)
+            value = values[p_idx, iteration]
+            row = int((hi - value) / span * (height - 1))
+            grid[row][column] = marker
+    lines = [f"{hi:10.2f} {series.unit} +" + "".join(grid[0])]
+    for row in range(1, height - 1):
+        lines.append(" " * 14 + "|" + "".join(grid[row]))
+    lines.append(f"{lo:10.2f} {series.unit} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 15 + f"iterations 0 .. {int(series.iterations[-1])}   "
+        + " ".join(f"{markers.get(p, 'x')}=p{p:g}" for p in series.percentiles)
+    )
+    return "\n".join(lines)
+
+
+def ascii_table(rows: Sequence[Dict[str, object]], *, float_format: str = "{:.2f}") -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for key in columns:
+            value = row.get(key, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(str(column)), *(len(r[idx]) for r in rendered))
+        for idx, column in enumerate(columns)
+    ]
+    header = " | ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    lines = [header, separator]
+    for cells in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)))
+    return "\n".join(lines)

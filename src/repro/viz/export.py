@@ -1,0 +1,59 @@
+"""CSV export of figure data (for plotting outside the offline environment)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+from repro.stats.histogram import FixedWidthHistogram
+from repro.stats.percentiles import PercentileSeries
+
+PathLike = Union[str, Path]
+
+
+def export_histogram_csv(histogram: FixedWidthHistogram, path: PathLike) -> Path:
+    """Write ``bin_start, bin_end, count`` rows."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"bin_start_{histogram.unit}", f"bin_end_{histogram.unit}", "count"])
+        for idx, count in enumerate(histogram.counts):
+            writer.writerow(
+                [f"{histogram.edges[idx]:.9g}", f"{histogram.edges[idx + 1]:.9g}", int(count)]
+            )
+    return target
+
+
+def export_percentiles_csv(series: PercentileSeries, path: PathLike) -> Path:
+    """Write ``iteration, p5, p25, ...`` rows."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["iteration"] + [f"p{level:g}_{series.unit}" for level in series.percentiles]
+        )
+        for idx, iteration in enumerate(series.iterations):
+            writer.writerow(
+                [int(iteration)] + [f"{series.values[p, idx]:.6f}" for p in range(len(series.percentiles))]
+            )
+    return target
+
+
+def export_rows_csv(rows: Sequence[Dict[str, object]], path: PathLike) -> Path:
+    """Write a list of dictionaries as CSV (union of keys, insertion order)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    columns: list = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return target

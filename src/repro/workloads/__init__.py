@@ -1,0 +1,35 @@
+"""Synthetic arrival-time workloads.
+
+Parametric generators of thread-arrival distributions (normal, single
+laggard, uniform, bimodal, two-phase, ...) used by:
+
+* unit/property tests of the analysis layer (known ground truth),
+* the ablation benchmarks (strategy behaviour under controlled
+  distributions — the same methodology as Temucin et al.'s partitioned
+  communication micro-benchmarks, which the paper cites as the consumer of
+  exactly this kind of distribution assumption), and
+* the synthetic "fourth application" in the examples.
+"""
+
+from repro.workloads.arrival_models import (
+    ArrivalModel,
+    BimodalArrival,
+    LaggardArrival,
+    NormalArrival,
+    SkewedArrival,
+    TwoPhaseArrival,
+    UniformArrival,
+)
+from repro.workloads.synthetic import SyntheticApp, SyntheticConfig
+
+__all__ = [
+    "ArrivalModel",
+    "NormalArrival",
+    "UniformArrival",
+    "LaggardArrival",
+    "BimodalArrival",
+    "SkewedArrival",
+    "TwoPhaseArrival",
+    "SyntheticApp",
+    "SyntheticConfig",
+]

@@ -1,0 +1,150 @@
+"""Parametric per-thread arrival-time models.
+
+Every model implements :meth:`ArrivalModel.sample`: given a thread count and
+a random generator, produce one process-iteration's arrival vector (seconds).
+The models correspond to the distribution families discussed in the paper and
+its related work (Grant et al.'s single-laggard assumption, Temucin et al.'s
+normal-distribution micro-benchmarks, the wide/normal/laggard classes of
+§4.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+class ArrivalModel(ABC):
+    """A generator of per-thread arrival vectors."""
+
+    @abstractmethod
+    def sample(self, n_threads: int, rng: np.random.Generator) -> np.ndarray:
+        """One arrival vector of length ``n_threads`` (seconds, non-negative)."""
+
+    def sample_many(
+        self, n_groups: int, n_threads: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Matrix of ``n_groups`` arrival vectors."""
+        if n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        return np.stack([self.sample(n_threads, rng) for _ in range(n_groups)])
+
+    @staticmethod
+    def _validate(n_threads: int) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+
+
+@dataclass(frozen=True)
+class NormalArrival(ArrivalModel):
+    """Independent normal arrivals (Temucin et al.'s benchmark assumption)."""
+
+    mean_s: float = 25.0e-3
+    sd_s: float = 0.5e-3
+
+    def sample(self, n_threads: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(n_threads)
+        draws = rng.normal(self.mean_s, self.sd_s, size=n_threads)
+        return np.clip(draws, 0.0, None)
+
+
+@dataclass(frozen=True)
+class UniformArrival(ArrivalModel):
+    """Arrivals uniform over ``[low_s, high_s]``."""
+
+    low_s: float = 20.0e-3
+    high_s: float = 30.0e-3
+
+    def sample(self, n_threads: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(n_threads)
+        if self.high_s < self.low_s:
+            raise ValueError("high_s must be >= low_s")
+        return rng.uniform(self.low_s, self.high_s, size=n_threads)
+
+
+@dataclass(frozen=True)
+class LaggardArrival(ArrivalModel):
+    """A tight normal bulk plus ``n_laggards`` threads delayed by ``laggard_delay_s``.
+
+    The single-laggard case (default) is the assumption of the original
+    partitioned-communication (finepoints) analysis.
+    """
+
+    mean_s: float = 25.0e-3
+    sd_s: float = 0.1e-3
+    laggard_delay_s: float = 5.0e-3
+    n_laggards: int = 1
+
+    def sample(self, n_threads: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(n_threads)
+        if not 0 <= self.n_laggards <= n_threads:
+            raise ValueError("n_laggards must be within [0, n_threads]")
+        draws = np.clip(rng.normal(self.mean_s, self.sd_s, size=n_threads), 0.0, None)
+        if self.n_laggards:
+            victims = rng.choice(n_threads, size=self.n_laggards, replace=False)
+            draws[victims] += self.laggard_delay_s
+        return draws
+
+
+@dataclass(frozen=True)
+class BimodalArrival(ArrivalModel):
+    """Two normal populations (e.g. boundary vs interior work assignments)."""
+
+    early_mean_s: float = 24.0e-3
+    late_mean_s: float = 26.0e-3
+    sd_s: float = 0.1e-3
+    early_fraction: float = 0.2
+
+    def sample(self, n_threads: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(n_threads)
+        if not 0.0 <= self.early_fraction <= 1.0:
+            raise ValueError("early_fraction must be in [0, 1]")
+        n_early = int(round(self.early_fraction * n_threads))
+        means = np.full(n_threads, self.late_mean_s)
+        means[:n_early] = self.early_mean_s
+        rng.shuffle(means)
+        return np.clip(rng.normal(means, self.sd_s), 0.0, None)
+
+
+@dataclass(frozen=True)
+class SkewedArrival(ArrivalModel):
+    """Right-skewed (lognormal) arrivals: a minority of slow threads."""
+
+    median_s: float = 25.0e-3
+    sigma: float = 0.05
+
+    def sample(self, n_threads: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(n_threads)
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        return self.median_s * np.exp(rng.normal(0.0, self.sigma, size=n_threads))
+
+
+@dataclass(frozen=True)
+class TwoPhaseArrival(ArrivalModel):
+    """Iteration-dependent model: a wide warm-up phase then a tight phase.
+
+    Mirrors MiniMD's Figure-6 behaviour.  ``sample`` draws from the tight
+    phase; use :meth:`sample_iteration` when the iteration index matters.
+    """
+
+    warmup_iterations: int = 19
+    warmup_model: ArrivalModel = UniformArrival(24.5e-3, 26.5e-3)
+    steady_model: ArrivalModel = NormalArrival(24.74e-3, 0.12e-3)
+
+    def sample(self, n_threads: int, rng: np.random.Generator) -> np.ndarray:
+        return self.steady_model.sample(n_threads, rng)
+
+    def sample_iteration(
+        self, iteration: int, n_threads: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Arrival vector for a specific application iteration."""
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        model = (
+            self.warmup_model if iteration < self.warmup_iterations else self.steady_model
+        )
+        return model.sample(n_threads, rng)

@@ -1,0 +1,70 @@
+"""Shared fixtures.
+
+Campaign datasets are expensive enough to be worth sharing, so the three
+per-application smoke datasets are built once per session.  All fixtures are
+deterministic (fixed seeds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.timing import TimingDataset
+from repro.experiments.campaign import quick_campaign
+from repro.experiments.config import CampaignConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def _smoke_dataset(application: str) -> TimingDataset:
+    return quick_campaign(
+        application,
+        trials=1,
+        processes=2,
+        iterations=30,
+        threads=48,
+        seed=202304,
+    )
+
+
+@pytest.fixture(scope="session")
+def minife_dataset() -> TimingDataset:
+    return _smoke_dataset("minife")
+
+
+@pytest.fixture(scope="session")
+def minimd_dataset() -> TimingDataset:
+    return _smoke_dataset("minimd")
+
+
+@pytest.fixture(scope="session")
+def miniqmc_dataset() -> TimingDataset:
+    return _smoke_dataset("miniqmc")
+
+
+@pytest.fixture(scope="session")
+def all_datasets(minife_dataset, minimd_dataset, miniqmc_dataset):
+    return {
+        "minife": minife_dataset,
+        "minimd": minimd_dataset,
+        "miniqmc": miniqmc_dataset,
+    }
+
+
+@pytest.fixture(scope="session")
+def synthetic_dataset() -> TimingDataset:
+    """A small dense synthetic dataset with known structure (no noise model)."""
+    rng = np.random.default_rng(0)
+    times = np.abs(rng.normal(25.0e-3, 0.4e-3, size=(2, 2, 10, 16)))
+    return TimingDataset.from_compute_times(
+        times, {"application": "synthetic", "region": "loop"}
+    )
+
+
+@pytest.fixture()
+def smoke_config() -> CampaignConfig:
+    return CampaignConfig.smoke()

@@ -1,0 +1,61 @@
+"""Property-based tests of the OpenMP loop schedules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.openmp.schedule import DynamicSchedule, GuidedSchedule, StaticSchedule
+
+costs_strategy = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(0, 300),
+    elements=st.floats(0.0, 1e-2, allow_nan=False),
+)
+threads_strategy = st.integers(1, 64)
+schedule_strategy = st.sampled_from(
+    [StaticSchedule(), StaticSchedule(4), DynamicSchedule(1), DynamicSchedule(7), GuidedSchedule(2)]
+)
+
+
+@given(costs_strategy, threads_strategy, schedule_strategy)
+@settings(max_examples=120, deadline=None)
+def test_every_item_executed_exactly_once(costs, n_threads, schedule):
+    outcome = schedule.simulate(costs, n_threads)
+    executed = np.concatenate([np.asarray(a, dtype=np.int64) for a in outcome.assignment])
+    assert sorted(executed.tolist()) == list(range(len(costs)))
+
+
+@given(costs_strategy, threads_strategy, schedule_strategy)
+@settings(max_examples=120, deadline=None)
+def test_work_is_conserved(costs, n_threads, schedule):
+    outcome = schedule.simulate(costs, n_threads)
+    np.testing.assert_allclose(
+        outcome.busy_time.sum(), costs.sum(), rtol=1e-9, atol=1e-15
+    )
+    assert len(outcome.busy_time) == n_threads
+    assert np.all(outcome.busy_time >= 0.0)
+
+
+@given(costs_strategy, threads_strategy)
+@settings(max_examples=80, deadline=None)
+def test_static_blocks_are_contiguous_and_ordered(costs, n_threads):
+    assignment = StaticSchedule().static_assignment(len(costs), n_threads)
+    previous_end = 0
+    for block in assignment:
+        if len(block) == 0:
+            continue
+        assert block[0] == previous_end
+        assert np.all(np.diff(block) == 1)
+        previous_end = block[-1] + 1
+    assert previous_end == len(costs)
+
+
+@given(costs_strategy, st.integers(2, 32))
+@settings(max_examples=80, deadline=None)
+def test_dynamic_makespan_never_worse_than_serial_and_not_better_than_ideal(costs, n_threads):
+    outcome = DynamicSchedule(1).simulate(costs, n_threads)
+    makespan = outcome.busy_time.max() if len(costs) else 0.0
+    ideal = costs.sum() / n_threads
+    assert makespan <= costs.sum() + 1e-12
+    assert makespan >= ideal - 1e-12

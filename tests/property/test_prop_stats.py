@@ -1,0 +1,100 @@
+"""Property-based tests of the statistics layer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats.anderson import anderson_darling
+from repro.stats.battery import NormalityBattery
+from repro.stats.dagostino import dagostino_k2
+from repro.stats.histogram import fixed_width_histogram
+from repro.stats.moments import kurtosis, skewness
+from repro.stats.percentiles import iqr
+from repro.stats.shapiro import shapiro_wilk
+
+#: groups of n in [8, 64] samples with values in a physical range (µs..s)
+sample_groups = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 6), st.integers(8, 64)),
+    elements=st.floats(1e-6, 1.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(sample_groups)
+@settings(max_examples=60, deadline=None)
+def test_normality_statistics_are_finite_and_pvalues_bounded(groups):
+    for result in (dagostino_k2(groups), shapiro_wilk(groups), anderson_darling(groups)):
+        assert np.all((result.pvalue >= 0.0) & (result.pvalue <= 1.0))
+    w = shapiro_wilk(groups).statistic
+    assert np.all((w >= 0.0) & (w <= 1.0))
+
+
+@given(sample_groups)
+@settings(max_examples=60, deadline=None)
+def test_tests_are_location_and_scale_invariant(groups):
+    """Affine transforms (unit changes) must not change any decision."""
+    battery = NormalityBattery()
+    base = battery.run(groups)
+    transformed = battery.run(groups * 1e3 + 17.0)
+    for name, outcome in base.outcomes.items():
+        np.testing.assert_array_equal(outcome.passed, transformed.outcomes[name].passed)
+
+
+@given(sample_groups)
+@settings(max_examples=60, deadline=None)
+def test_shuffling_samples_does_not_change_statistics(groups):
+    rng = np.random.default_rng(0)
+    shuffled = groups.copy()
+    for row in shuffled:
+        rng.shuffle(row)
+    np.testing.assert_allclose(
+        shapiro_wilk(groups).statistic, shapiro_wilk(shuffled).statistic, rtol=1e-10
+    )
+    np.testing.assert_allclose(
+        anderson_darling(groups).statistic,
+        anderson_darling(shuffled).statistic,
+        rtol=1e-10,
+        atol=1e-12,
+    )
+
+
+@given(sample_groups)
+@settings(max_examples=60, deadline=None)
+def test_moment_identities(groups):
+    assert np.all(kurtosis(groups) >= 0.0)
+    # skewness of mirrored data is the negation of the original
+    np.testing.assert_allclose(skewness(-groups), -skewness(groups), atol=1e-8)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(2, 400),
+        elements=st.floats(0.0, 0.2, allow_nan=False),
+    ),
+    st.floats(1e-5, 1e-2),
+)
+@settings(max_examples=60, deadline=None)
+def test_histogram_conserves_samples_and_covers_range(samples, bin_width):
+    hist = fixed_width_histogram(samples, bin_width)
+    assert hist.total == len(samples)
+    assert hist.edges[0] <= samples.min()
+    assert hist.edges[-1] >= samples.max()
+    widths = np.diff(hist.edges)
+    np.testing.assert_allclose(widths, bin_width, rtol=1e-9)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(4, 100)),
+        elements=st.floats(0.0, 1.0, allow_nan=False),
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_iqr_nonnegative_and_bounded_by_range(groups):
+    values = iqr(groups)
+    ranges = groups.max(axis=-1) - groups.min(axis=-1)
+    assert np.all(values >= -1e-12)
+    assert np.all(values <= ranges + 1e-12)

@@ -1,0 +1,128 @@
+"""Unit tests for the MiniMD substrate (lattice, neighbours, forces, proxy app)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minimd import (
+    MiniMDApp,
+    MiniMDConfig,
+    build_neighbor_lists,
+    expected_neighbors,
+    fcc_lattice,
+    lennard_jones_forces,
+)
+from repro.apps.minimd.app import TARGET_MEDIAN_ARRIVAL_S, TARGET_WARMUP_MEDIAN_S
+from repro.apps.minimd.integrate import run_md
+from repro.apps.minimd.lattice import DEFAULT_DENSITY
+
+
+class TestLattice:
+    def test_atom_count_and_density(self):
+        box = fcc_lattice((3, 3, 3))
+        assert box.n_atoms == 4 * 27
+        assert box.density == pytest.approx(DEFAULT_DENSITY, rel=1e-12)
+
+    def test_velocities_have_zero_total_momentum(self, rng):
+        box = fcc_lattice((2, 2, 2), rng=rng)
+        np.testing.assert_allclose(box.velocities.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_invalid_cells_rejected(self):
+        with pytest.raises(ValueError):
+            fcc_lattice((0, 1, 1))
+
+
+class TestNeighbors:
+    def test_expected_neighbors_formula(self):
+        full = expected_neighbors(0.8442, 2.5, half_list=False)
+        assert full == pytest.approx(4.0 / 3.0 * np.pi * 2.5**3 * 0.8442)
+        assert expected_neighbors(0.8442, 2.5) == pytest.approx(full / 2.0)
+
+    def test_cell_list_counts_match_expectation(self):
+        box = fcc_lattice((4, 4, 4))
+        lists = build_neighbor_lists(box, cutoff=2.5, skin=0.0)
+        measured = lists.counts().mean()
+        expected = expected_neighbors(box.density, 2.5)
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_half_lists_store_each_pair_once(self):
+        box = fcc_lattice((3, 3, 3))
+        lists = build_neighbor_lists(box)
+        for i, neighbors in enumerate(lists.neighbors):
+            assert np.all(neighbors > i)
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            build_neighbor_lists(fcc_lattice((2, 2, 2)), cutoff=0.0)
+
+
+class TestForces:
+    def test_perfect_lattice_has_vanishing_net_forces(self):
+        box = fcc_lattice((3, 3, 3))
+        lists = build_neighbor_lists(box)
+        result = lennard_jones_forces(box, lists)
+        # by symmetry every atom's force is ~0 on an undisturbed fcc lattice
+        np.testing.assert_allclose(result.forces, 0.0, atol=1e-9)
+        assert result.potential_energy < 0.0  # bound crystal
+
+    def test_newtons_third_law_total_force(self, rng):
+        box = fcc_lattice((3, 3, 3), rng=rng)
+        # perturb positions so forces are non-trivial
+        perturbed = box.positions + rng.normal(0.0, 0.05, size=box.positions.shape)
+        box = type(box)(positions=perturbed % box.box_length,
+                        velocities=box.velocities, box_length=box.box_length)
+        lists = build_neighbor_lists(box)
+        result = lennard_jones_forces(box, lists)
+        np.testing.assert_allclose(result.forces.sum(axis=0), 0.0, atol=1e-9)
+        assert result.pairs_within_cutoff > 0
+
+    def test_energy_conservation_over_short_run(self):
+        box = fcc_lattice((3, 3, 3), rng=np.random.default_rng(0), temperature=0.2)
+        lists = build_neighbor_lists(box)
+        initial = lennard_jones_forces(box, lists)
+        state = run_md(box, n_steps=10, dt=0.002, rebuild_every=0)
+        e0 = initial.potential_energy + 0.5 * float(np.sum(box.velocities**2))
+        drift = abs(state.total_energy - e0) / abs(e0)
+        assert drift < 5e-3
+
+
+class TestMiniMDApp:
+    def test_calibration_hits_target_median(self):
+        app = MiniMDApp()
+        base = app.base_thread_times(0, 50, np.random.default_rng(0))
+        assert np.median(base) == pytest.approx(TARGET_MEDIAN_ARRIVAL_S, rel=0.01)
+
+    def test_warmup_phase_widens_and_shifts_arrivals(self):
+        app = MiniMDApp()
+        rng = np.random.default_rng(1)
+        warm = app.thread_compute_times(process=0, iteration=3, rng=rng)
+        steady = app.thread_compute_times(process=0, iteration=100, rng=rng)
+        assert app.in_warmup(3) and not app.in_warmup(100)
+        assert warm.std() > 3 * steady.std()
+        assert np.median(warm) > np.median(steady)
+        assert np.median(warm) == pytest.approx(TARGET_WARMUP_MEDIAN_S, rel=0.05)
+
+    def test_steady_phase_is_tight(self):
+        app = MiniMDApp()
+        steady = app.thread_compute_times(
+            process=0, iteration=150, rng=np.random.default_rng(2)
+        )
+        assert (steady.max() - steady.min()) < 1.0e-3
+
+    def test_atoms_per_process_partition(self):
+        app = MiniMDApp(MiniMDConfig(problem_cells=16, n_job_processes=4))
+        assert app.atoms_per_process == 4 * 16**3 // 4
+
+    def test_reference_kernel_quantities(self):
+        app = MiniMDApp(MiniMDConfig(kernel_cells=3, kernel_steps=3))
+        result = app.run_reference_kernel(np.random.default_rng(3))
+        assert result["atoms"] == 4 * 27
+        assert result["net_force_magnitude"] < 1e-6
+        assert result["mean_neighbors"] == pytest.approx(
+            result["expected_neighbors"], rel=0.25
+        )
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MiniMDConfig(problem_cells=0)
+        with pytest.raises(ValueError):
+            MiniMDConfig(warmup_iterations=-1)

@@ -1,0 +1,92 @@
+"""Unit tests for the OS-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.noise import NoiseEvent, NoiseSpec, OSNoiseModel, total_noise
+from repro.cluster.topology import Core
+
+CORE = Core(0, 0, 0)
+
+
+class TestNoiseSpec:
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(interrupt_rate_hz=-1.0)
+
+    def test_disabled_copy_switches_off(self):
+        spec = NoiseSpec()
+        assert spec.enabled
+        assert not spec.disabled().enabled
+
+
+class TestEvents:
+    def test_periodic_daemon_events_follow_the_period(self):
+        spec = NoiseSpec(
+            daemon_period_s=0.01,
+            daemon_duration_s=1e-6,
+            interrupt_rate_hz=0.0,
+            jitter_fraction=0.0,
+        )
+        model = OSNoiseModel(spec, np.random.default_rng(0))
+        events = model.events_in(CORE, 0.0, 0.1)
+        assert 9 <= len(events) <= 11
+        gaps = np.diff([e.start for e in events])
+        np.testing.assert_allclose(gaps, 0.01, rtol=1e-9)
+
+    def test_disabled_model_produces_no_events_or_delay(self):
+        model = OSNoiseModel(NoiseSpec().disabled(), np.random.default_rng(0))
+        assert model.events_in(CORE, 0.0, 1.0) == []
+        assert model.delay_over(CORE, 0.0, 0.05) == 0.0
+
+    def test_total_noise_sums_durations(self):
+        events = [NoiseEvent(0.0, 1e-3), NoiseEvent(0.5, 2e-3)]
+        assert total_noise(events) == pytest.approx(3e-3)
+
+
+class TestDelays:
+    def test_delay_is_nonnegative_and_bounded(self):
+        model = OSNoiseModel(NoiseSpec(), np.random.default_rng(1))
+        delays = [model.delay_over(CORE, i * 0.03, 0.025) for i in range(200)]
+        assert all(d >= 0.0 for d in delays)
+        # one window cannot accumulate more noise than physically available
+        assert max(delays) < 0.025
+
+    def test_zero_work_has_zero_delay(self):
+        model = OSNoiseModel(NoiseSpec(), np.random.default_rng(2))
+        assert model.delay_over(CORE, 0.0, 0.0) == 0.0
+
+    def test_negative_work_rejected(self):
+        model = OSNoiseModel(NoiseSpec(), np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            model.delay_over(CORE, 0.0, -1.0)
+
+    def test_jittered_compute_disabled_is_identity(self):
+        model = OSNoiseModel(NoiseSpec().disabled(), np.random.default_rng(3))
+        assert model.jittered_compute(0.02) == 0.02
+
+    def test_jittered_compute_spread_matches_fraction(self):
+        spec = NoiseSpec(jitter_fraction=0.01)
+        model = OSNoiseModel(spec, np.random.default_rng(4))
+        samples = np.array([model.jittered_compute(1.0) for _ in range(2000)])
+        assert samples.std() == pytest.approx(0.01, rel=0.15)
+
+    def test_batch_delays_statistically_match_scalar_path(self):
+        spec = NoiseSpec(jitter_fraction=0.0)
+        scalar_model = OSNoiseModel(spec, np.random.default_rng(5))
+        batch_model = OSNoiseModel(spec, np.random.default_rng(6))
+        work = np.full(4000, 0.025)
+        scalar = np.array(
+            [scalar_model.delay_over(CORE, 0.0, w) for w in work[:1000]]
+        )
+        batch = batch_model.batch_delays(work)
+        assert batch.shape == work.shape
+        assert np.all(batch >= 0.0)
+        # same order of magnitude of mean injected noise (both include the
+        # periodic daemon plus rare interrupts)
+        assert abs(batch.mean() - scalar.mean()) < 5e-4
+
+    def test_sample_wall_time_at_least_work(self):
+        model = OSNoiseModel(NoiseSpec(jitter_fraction=0.0), np.random.default_rng(7))
+        wall = model.sample_wall_time(CORE, 0.0, 0.025)
+        assert wall >= 0.025

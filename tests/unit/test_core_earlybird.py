@@ -1,0 +1,100 @@
+"""Unit tests for the early-bird feasibility model."""
+
+import numpy as np
+import pytest
+
+from repro.core.earlybird import EarlyBirdModel
+from repro.mpi.network import NetworkModel
+
+#: Zero-latency, zero-overhead network at 1 GB/s for easy hand calculations.
+FLAT = NetworkModel(
+    latency_s=0.0,
+    per_hop_latency_s=0.0,
+    o_send_s=0.0,
+    o_recv_s=0.0,
+    bandwidth_bytes_per_s=1.0e9,
+    eager_threshold_bytes=1 << 40,
+)
+
+
+class TestPartitioning:
+    def test_partition_sizes_cover_buffer(self):
+        model = EarlyBirdModel(FLAT, buffer_bytes=1000, hops=0)
+        sizes = model.partition_sizes(48)
+        assert sizes.sum() == 1000
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            EarlyBirdModel(buffer_bytes=0)
+        model = EarlyBirdModel(FLAT)
+        with pytest.raises(ValueError):
+            model.partition_sizes(0)
+        with pytest.raises(ValueError):
+            model.evaluate([])
+        with pytest.raises(ValueError):
+            model.evaluate([-1.0])
+
+
+class TestSingleLaggardScenario:
+    """The scenario of the original partitioned-communication analysis: all
+    threads but one arrive together, one arrives late."""
+
+    def _outcome(self, laggard_delay_s=5.0e-3):
+        arrivals = np.full(8, 10.0e-3)
+        arrivals[-1] += laggard_delay_s
+        model = EarlyBirdModel(FLAT, buffer_bytes=8_000_000, hops=0)  # 8 ms wire time
+        return model.evaluate(arrivals)
+
+    def test_bulk_waits_for_laggard(self):
+        outcome = self._outcome()
+        assert outcome.bulk_completion_s == pytest.approx(15e-3 + 8e-3)
+
+    def test_earlybird_hides_early_partitions_behind_laggard(self):
+        outcome = self._outcome()
+        # The 7 early partitions start draining at 10 ms and keep the NIC busy
+        # until 17 ms; the laggard's partition (ready at 15 ms) queues behind
+        # them and completes at 18 ms — 5 ms earlier than the bulk send, which
+        # cannot even start before 15 ms.
+        assert outcome.earlybird_completion_s == pytest.approx(18e-3, rel=1e-6)
+        assert outcome.improvement_s == pytest.approx(5e-3, rel=1e-6)
+        assert outcome.speedup > 1.25
+
+    def test_overlap_windows_match_reclaimable_time(self):
+        outcome = self._outcome()
+        assert outcome.potential_overlap_s == pytest.approx(7 * 5e-3)
+
+    def test_overlap_efficiency_in_unit_interval(self):
+        outcome = self._outcome()
+        assert 0.0 < outcome.overlap_efficiency <= 1.0
+
+    def test_simultaneous_arrivals_give_no_benefit(self):
+        model = EarlyBirdModel(FLAT, buffer_bytes=1_000_000, hops=0)
+        outcome = model.evaluate(np.full(8, 10.0e-3))
+        assert outcome.improvement_s <= 1e-9
+        assert outcome.speedup == pytest.approx(1.0, rel=1e-6)
+
+    def test_larger_spread_increases_improvement(self):
+        model = EarlyBirdModel(FLAT, buffer_bytes=8_000_000, hops=0)
+        tight = model.evaluate(np.linspace(10.0e-3, 10.5e-3, 8))
+        wide = model.evaluate(np.linspace(2.0e-3, 10.5e-3, 8))
+        assert wide.improvement_s > tight.improvement_s
+
+
+class TestGroupEvaluation:
+    def test_evaluate_groups_shapes_and_consistency(self):
+        rng = np.random.default_rng(0)
+        groups = rng.uniform(20e-3, 30e-3, size=(10, 16))
+        model = EarlyBirdModel(FLAT, buffer_bytes=1_000_000, hops=0)
+        results = model.evaluate_groups(groups)
+        assert results["improvement_s"].shape == (10,)
+        single = model.evaluate(groups[3])
+        assert results["improvement_s"][3] == pytest.approx(single.improvement_s)
+        assert np.all(results["speedup"] >= 1.0 - 1e-9)
+
+    def test_as_dict_round_trip(self):
+        model = EarlyBirdModel(FLAT, buffer_bytes=1_000_000, hops=0)
+        outcome = model.evaluate(np.linspace(1e-3, 2e-3, 4))
+        payload = outcome.as_dict()
+        assert payload["buffer_bytes"] == 1_000_000
+        assert payload["bulk_completion_ms"] >= payload["earlybird_completion_ms"]

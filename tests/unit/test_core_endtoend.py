@@ -1,0 +1,96 @@
+"""Unit tests for the end-to-end application projection."""
+
+import numpy as np
+import pytest
+
+from repro.core.endtoend import EndToEndModel, EndToEndProjection
+from repro.core.strategies import BulkStrategy, FineGrainedStrategy
+from repro.core.timing import TimingDataset
+from repro.mpi.network import NetworkModel
+
+FLAT = NetworkModel(
+    latency_s=0.0,
+    per_hop_latency_s=0.0,
+    o_send_s=0.0,
+    o_recv_s=0.0,
+    bandwidth_bytes_per_s=1.0e9,
+    eager_threshold_bytes=1 << 40,
+)
+
+
+def _laggard_dataset(laggard_every=2):
+    """8 threads at 20 ms; every other iteration one thread at 28 ms."""
+    times = np.full((1, 1, 10, 8), 20.0e-3)
+    times[0, 0, ::laggard_every, 0] = 28.0e-3
+    return TimingDataset.from_compute_times(times, {"application": "endtoend-demo"})
+
+
+class TestEndToEndModel:
+    def test_bulk_baseline_matches_hand_calculation(self):
+        # buffer of 8 MB over a 1 GB/s link = 8 ms fully exposed after compute
+        model = EndToEndModel(FLAT, buffer_bytes=8_000_000, hops=0)
+        projection = model.project_dataset(_laggard_dataset())
+        bulk = projection.projections["bulk"]
+        # half the iterations end at 20 ms, half at 28 ms; + 8 ms of comm
+        assert bulk.mean_iteration_s == pytest.approx(24e-3 + 8e-3, rel=1e-6)
+
+    def test_fine_grained_hides_communication_behind_laggards(self):
+        model = EndToEndModel(FLAT, buffer_bytes=8_000_000, hops=0)
+        projection = model.project_dataset(_laggard_dataset())
+        speedups = projection.speedup_over_bulk()
+        assert speedups["fine_grained"] > 1.05
+        assert projection.best().strategy != "bulk"
+        reductions = projection.communication_reduction()
+        assert reductions["fine_grained"] > 0.3
+        assert reductions["bulk"] == 0.0
+
+    def test_uniform_arrivals_leave_little_to_gain(self):
+        times = np.full((1, 1, 6, 8), 20.0e-3)
+        ds = TimingDataset.from_compute_times(times, {"application": "flat"})
+        model = EndToEndModel(FLAT, buffer_bytes=1_000_000, hops=0)
+        speedups = model.project_dataset(ds).speedup_over_bulk()
+        assert speedups["fine_grained"] == pytest.approx(1.0, abs=0.01)
+
+    def test_post_region_compute_added_to_every_strategy(self):
+        base = EndToEndModel(FLAT, buffer_bytes=1_000_000, hops=0)
+        padded = EndToEndModel(
+            FLAT, buffer_bytes=1_000_000, hops=0, post_region_compute_s=5e-3
+        )
+        ds = _laggard_dataset()
+        delta = (
+            padded.project_dataset(ds).projections["bulk"].mean_iteration_s
+            - base.project_dataset(ds).projections["bulk"].mean_iteration_s
+        )
+        assert delta == pytest.approx(5e-3, rel=1e-9)
+
+    def test_bulk_is_always_included(self):
+        model = EndToEndModel(FLAT, strategies=[FineGrainedStrategy()])
+        assert any(s.name == "bulk" for s in model.strategies)
+
+    def test_table_rows_include_speedup_column(self):
+        model = EndToEndModel(FLAT, buffer_bytes=1_000_000, hops=0)
+        rows = model.project_dataset(_laggard_dataset()).table_rows()
+        assert all("projected_speedup_vs_bulk" in row for row in rows)
+        assert {row["strategy"] for row in rows} >= {"bulk", "fine_grained"}
+
+    def test_project_multiple_applications(self, all_datasets):
+        model = EndToEndModel(buffer_bytes=4 << 20)
+        projections = model.project_applications(all_datasets, max_iterations=20)
+        assert set(projections) == set(all_datasets)
+        for name, projection in projections.items():
+            assert isinstance(projection, EndToEndProjection)
+            assert projection.n_iterations_evaluated > 0
+            assert projection.speedup_over_bulk()["fine_grained"] >= 1.0 - 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EndToEndModel(buffer_bytes=0)
+        with pytest.raises(ValueError):
+            EndToEndModel(post_region_compute_s=-1.0)
+
+    def test_missing_bulk_in_speedup_raises(self):
+        projection = EndToEndProjection(
+            application="x", buffer_bytes=1, n_iterations_evaluated=0
+        )
+        with pytest.raises(KeyError):
+            projection.speedup_over_bulk()

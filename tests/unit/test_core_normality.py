@@ -1,0 +1,77 @@
+"""Unit tests for the multi-level normality study."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import AggregationLevel
+from repro.core.normality import NormalityStudy
+from repro.core.timing import TimingDataset
+from repro.stats.battery import TEST_NAMES
+
+
+def _normal_dataset(seed=0):
+    rng = np.random.default_rng(seed)
+    times = np.abs(rng.normal(25e-3, 1e-3, size=(2, 2, 10, 48)))
+    return TimingDataset.from_compute_times(times, {"application": "normalapp"})
+
+
+def _skewed_dataset(seed=1):
+    rng = np.random.default_rng(seed)
+    times = 20e-3 + rng.exponential(2e-3, size=(2, 2, 10, 48))
+    return TimingDataset.from_compute_times(times, {"application": "skewapp"})
+
+
+class TestNormalityStudy:
+    def test_normal_data_passes_at_every_level(self):
+        study = NormalityStudy(_normal_dataset())
+        assert not study.application_rejects_normality()
+        rates = study.process_iteration_pass_rates()
+        assert all(rates[name] > 0.8 for name in TEST_NAMES)
+        passes = study.application_iteration_pass_counts()
+        assert all(count >= 8 for count in passes.values())
+
+    def test_skewed_data_rejected_at_every_level(self):
+        study = NormalityStudy(_skewed_dataset())
+        assert study.application_rejects_normality()
+        rates = study.process_iteration_pass_rates()
+        assert all(rates[name] < 0.2 for name in TEST_NAMES)
+
+    def test_results_are_cached(self):
+        study = NormalityStudy(_normal_dataset())
+        first = study.level_result(AggregationLevel.PROCESS_ITERATION)
+        second = study.level_result("process_iteration")
+        assert first is second
+
+    def test_table1_row_structure(self):
+        row = NormalityStudy(_normal_dataset()).table1_row()
+        assert row["application"] == "normalapp"
+        assert all(
+            0.0 <= value <= 100.0
+            for key, value in row.items()
+            if key != "application"
+        )
+
+    def test_application_level_subsampling_keeps_shapiro_valid(self):
+        # application level pools 2*2*10*48 = 1920 samples < 5000 here, but a
+        # tighter cap must still work and stay deterministic
+        study = NormalityStudy(_normal_dataset(), max_application_samples=500)
+        result = study.level_result(AggregationLevel.APPLICATION)
+        assert result.report.group_size == 500
+        again = NormalityStudy(_normal_dataset(), max_application_samples=500)
+        np.testing.assert_allclose(
+            result.report.outcomes["shapiro_wilk"].statistic,
+            again.level_result(AggregationLevel.APPLICATION).report.outcomes[
+                "shapiro_wilk"
+            ].statistic,
+        )
+
+    def test_passing_keys_identify_groups(self):
+        study = NormalityStudy(_normal_dataset())
+        result = study.level_result(AggregationLevel.APPLICATION_ITERATION)
+        keys = result.passing_keys("dagostino")
+        assert len(keys) == result.n_passing("dagostino")
+
+    def test_summary_text_mentions_levels(self):
+        text = NormalityStudy(_normal_dataset()).summary()
+        assert "application level" in text
+        assert "process-iteration level" in text

@@ -1,0 +1,117 @@
+"""Unit tests for the early-bird delivery strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    BinnedStrategy,
+    BulkStrategy,
+    FineGrainedStrategy,
+    TimeoutStrategy,
+    compare_strategies,
+)
+from repro.mpi.network import NetworkModel, omni_path
+
+FLAT = NetworkModel(
+    latency_s=0.0,
+    per_hop_latency_s=0.0,
+    o_send_s=0.0,
+    o_recv_s=0.0,
+    bandwidth_bytes_per_s=1.0e9,
+    eager_threshold_bytes=1 << 40,
+)
+
+LAGGARD_ARRIVALS = np.concatenate([np.full(15, 10.0e-3), [18.0e-3]])
+BUFFER = 16_000_000  # 16 MB -> 16 ms of wire time on FLAT
+
+
+class TestFlushPlans:
+    def test_bulk_is_one_message_at_last_arrival(self):
+        plan = BulkStrategy().flush_plan(LAGGARD_ARRIVALS, np.full(16, BUFFER // 16))
+        assert len(plan) == 1
+        assert plan[0][0] == pytest.approx(18.0e-3)
+        assert plan[0][1] == BUFFER
+
+    def test_fine_grained_is_one_message_per_thread(self):
+        plan = FineGrainedStrategy().flush_plan(
+            LAGGARD_ARRIVALS, np.full(16, BUFFER // 16)
+        )
+        assert len(plan) == 16
+
+    def test_binned_groups_partitions(self):
+        plan = BinnedStrategy(4).flush_plan(LAGGARD_ARRIVALS, np.full(16, 100))
+        assert len(plan) == 4
+        assert all(nbytes == 400 for _, nbytes in plan)
+
+    def test_binned_flushes_partial_final_bin(self):
+        arrivals = np.linspace(1e-3, 2e-3, 10)
+        plan = BinnedStrategy(4).flush_plan(arrivals, np.full(10, 100))
+        assert [nbytes for _, nbytes in plan] == [400, 400, 200]
+
+    def test_timeout_flushes_periodically(self):
+        arrivals = np.linspace(0.0, 10.0e-3, 11)
+        plan = TimeoutStrategy(2.0e-3).flush_plan(arrivals, np.full(11, 100))
+        total = sum(nbytes for _, nbytes in plan)
+        assert total == 1100
+        flush_times = [t for t, _ in plan]
+        assert flush_times == sorted(flush_times)
+        assert len(plan) >= 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BinnedStrategy(0)
+        with pytest.raises(ValueError):
+            TimeoutStrategy(0.0)
+
+
+class TestEvaluation:
+    def test_all_strategies_deliver_all_bytes(self):
+        comparison = compare_strategies(
+            LAGGARD_ARRIVALS, buffer_bytes=BUFFER, network=FLAT, hops=0
+        )
+        for outcome in comparison.outcomes.values():
+            assert outcome.bytes_sent == BUFFER
+
+    def test_fine_grained_beats_bulk_with_a_laggard(self):
+        comparison = compare_strategies(
+            LAGGARD_ARRIVALS, buffer_bytes=BUFFER, network=FLAT, hops=0
+        )
+        speedups = comparison.speedup_over_bulk()
+        assert speedups["fine_grained"] > 1.2
+        assert comparison.best().strategy != "bulk"
+
+    def test_bulk_wins_when_arrivals_are_simultaneous_on_real_network(self):
+        arrivals = np.full(48, 25.0e-3)
+        comparison = compare_strategies(
+            arrivals, buffer_bytes=4 << 20, network=omni_path()
+        )
+        # per-message overheads make many small messages slightly worse
+        assert comparison.outcomes["bulk"].completion_s <= (
+            comparison.outcomes["fine_grained"].completion_s + 1e-9
+        )
+
+    def test_exposed_communication_shrinks_with_fine_grained(self):
+        comparison = compare_strategies(
+            LAGGARD_ARRIVALS, buffer_bytes=BUFFER, network=FLAT, hops=0
+        )
+        assert (
+            comparison.outcomes["fine_grained"].exposed_after_compute_s
+            < comparison.outcomes["bulk"].exposed_after_compute_s
+        )
+
+    def test_speedup_requires_bulk_baseline(self):
+        comparison = compare_strategies(
+            LAGGARD_ARRIVALS,
+            buffer_bytes=BUFFER,
+            network=FLAT,
+            hops=0,
+            strategies=[FineGrainedStrategy()],
+        )
+        with pytest.raises(KeyError):
+            comparison.speedup_over_bulk()
+
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError):
+            BulkStrategy().evaluate([], buffer_bytes=100)
+        with pytest.raises(ValueError):
+            BulkStrategy().evaluate([1.0], buffer_bytes=0)

@@ -1,0 +1,163 @@
+"""Unit tests for campaign configuration, tables, figures and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import CampaignConfig
+from repro.experiments.figures import (
+    FIGURE_GENERATORS,
+    figure1_earlybird_timeline,
+    figure2_potential_overlap,
+    figure3_histogram,
+    figure4_minife_percentiles,
+    figure5_minife_classes,
+    figure6_minimd_percentiles,
+    figure7_minimd_classes,
+    figure8_miniqmc_percentiles,
+    figure9_miniqmc_histogram,
+)
+from repro.experiments.paper import PAPER_REFERENCE, TABLE1_PASS_PERCENT
+from repro.experiments.runner import build_parser, main
+from repro.experiments.tables import (
+    minimd_phase_table,
+    section4_metrics_table,
+    section41_normality_table,
+    table1,
+)
+
+
+class TestCampaignConfig:
+    def test_paper_scale_matches_section_3_2(self):
+        config = CampaignConfig.paper_scale()
+        assert (config.trials, config.processes, config.iterations, config.threads) == (
+            10,
+            8,
+            200,
+            48,
+        )
+        assert config.samples_per_application == 768_000
+        assert config.process_iterations == 16_000
+        assert config.machine.name == "manzano"
+
+    def test_machine_grows_to_fit_job(self):
+        config = CampaignConfig.paper_scale()
+        assert config.machine.n_nodes * config.machine.cores_per_node >= 8 * 48
+
+    def test_scaled_and_for_application_copies(self):
+        config = CampaignConfig.smoke().scaled(trials=3).for_application("minimd")
+        assert config.trials == 3
+        assert config.application == "minimd"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(trials=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(backend="gpu")
+
+
+class TestPaperReference:
+    def test_reference_tables_cover_all_apps(self):
+        assert set(TABLE1_PASS_PERCENT) == {"minife", "minimd", "miniqmc"}
+        assert set(PAPER_REFERENCE["section4_metrics"]) == {"minife", "minimd", "miniqmc"}
+
+    def test_figure_registry_covers_paper_figures(self):
+        assert set(FIGURE_GENERATORS) == {
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+        }
+
+
+class TestTables:
+    def test_table1_rows(self, all_datasets):
+        rows = table1(all_datasets)
+        assert len(rows) == 3
+        for row in rows:
+            measured = [v for k, v in row.items() if "measured" in k]
+            assert all(0.0 <= value <= 100.0 for value in measured)
+            assert any("paper" in key for key in row)
+
+    def test_section4_metrics_rows(self, all_datasets):
+        rows = section4_metrics_table(all_datasets)
+        by_app = {row["application"]: row for row in rows}
+        assert by_app["MiniQMC"]["mean_iqr_ms (measured)"] > by_app["MiniFE"][
+            "mean_iqr_ms (measured)"
+        ]
+
+    def test_section41_rows(self, all_datasets):
+        rows = section41_normality_table(all_datasets)
+        assert {row["application"] for row in rows} == {"MiniFE", "MiniMD", "MiniQMC"}
+
+    def test_minimd_phase_table(self, minimd_dataset):
+        rows = minimd_phase_table(minimd_dataset)
+        assert rows[0]["mean_iqr_ms (measured)"] > rows[1]["mean_iqr_ms (measured)"]
+
+
+class TestFigureGenerators:
+    def test_figure1_and_2_from_arrivals(self):
+        arrivals = np.concatenate([np.full(7, 20e-3), [24e-3]])
+        fig1 = figure1_earlybird_timeline(arrivals, buffer_bytes=1 << 20)
+        assert fig1["earlybird_completion_s"] <= fig1["bulk_completion_s"]
+        fig2 = figure2_potential_overlap(arrivals)
+        assert fig2["total_overlap_s"] == pytest.approx(7 * 4e-3)
+
+    def test_figure3_histogram_bins(self, minife_dataset):
+        fig = figure3_histogram(minife_dataset)
+        assert fig["histogram"].bin_width == pytest.approx(10e-6)
+        assert fig["samples"] == minife_dataset.n_samples
+
+    def test_percentile_figures(self, minife_dataset, minimd_dataset, miniqmc_dataset):
+        assert figure4_minife_percentiles(minife_dataset)["skew_direction"] == "early"
+        fig6 = figure6_minimd_percentiles(minimd_dataset)
+        assert fig6["warmup_mean_iqr_ms"] > fig6["steady_mean_iqr_ms"]
+        fig8 = figure8_miniqmc_percentiles(miniqmc_dataset)
+        assert fig8["mean_iqr_ms"] > 5.0
+
+    def test_figure5_classes(self, minife_dataset):
+        fig = figure5_minife_classes(minife_dataset)
+        assert 0.0 < fig["laggard_fraction"] < 1.0
+        assert fig["no_laggard_histogram"] is not None
+
+    def test_figure7_classes(self, minimd_dataset):
+        fig = figure7_minimd_classes(minimd_dataset)
+        assert fig["initial_histogram"] is not None
+        assert fig["steady_laggard_fraction"] < 0.5
+
+    def test_figure9_histogram(self, miniqmc_dataset):
+        fig = figure9_miniqmc_histogram(miniqmc_dataset)
+        assert fig["histogram"].bin_width == pytest.approx(1e-3)
+        assert fig["spread_ms"] > 10.0
+
+
+class TestRunnerCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == "benchmark"
+        assert args.apps == ["minife", "minimd", "miniqmc"]
+
+    def test_main_smoke_run_writes_outputs(self, tmp_path):
+        exit_code = main(
+            [
+                "--scale",
+                "smoke",
+                "--apps",
+                "minife",
+                "--iterations",
+                "10",
+                "--threads",
+                "16",
+                "--output",
+                str(tmp_path),
+                "--save-datasets",
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "section4_metrics.csv").exists()
+        assert (tmp_path / "report.txt").exists()
+        assert (tmp_path / "dataset_minife.npz").exists()
+        assert (tmp_path / "figures" / "figure3_minife.csv").exists()

@@ -1,0 +1,129 @@
+"""Unit tests for dataset persistence and the text/CSV figure exporters."""
+
+import numpy as np
+import pytest
+
+from repro.core.timing import TimingDataset
+from repro.io import dataset_to_csv, load_dataset, save_dataset, validate_columns
+from repro.stats.histogram import fixed_width_histogram
+from repro.stats.percentiles import PercentileSeries
+from repro.viz import (
+    ascii_histogram,
+    ascii_percentile_plot,
+    ascii_table,
+    export_histogram_csv,
+    export_percentiles_csv,
+    export_rows_csv,
+)
+
+
+@pytest.fixture()
+def small_dataset():
+    rng = np.random.default_rng(9)
+    times = rng.uniform(1e-3, 2e-3, size=(1, 2, 3, 4))
+    return TimingDataset.from_compute_times(
+        times, {"application": "iodemo", "seed": 9, "machine": "manzano"}
+    )
+
+
+class TestDatasetIO:
+    def test_round_trip_preserves_everything(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "data")
+        assert path.suffix == ".npz"
+        loaded = load_dataset(path)
+        assert loaded.metadata == small_dataset.metadata
+        np.testing.assert_array_equal(
+            loaded.compute_times_s, small_dataset.compute_times_s
+        )
+        np.testing.assert_array_equal(loaded.column("thread"), small_dataset.column("thread"))
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_csv_export_has_header_and_rows(self, small_dataset, tmp_path):
+        path = dataset_to_csv(small_dataset, tmp_path / "data.csv", unit="us")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "trial,process,iteration,thread,compute_time_us"
+        assert len(lines) == 1 + len(small_dataset)
+
+    def test_csv_invalid_unit_rejected(self, small_dataset, tmp_path):
+        with pytest.raises(ValueError):
+            dataset_to_csv(small_dataset, tmp_path / "x.csv", unit="h")
+
+    def test_schema_validation(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_columns({"trial": np.zeros(2)})
+        with pytest.raises(ValueError, match="unknown"):
+            validate_columns(
+                {
+                    "trial": np.zeros(2),
+                    "process": np.zeros(2),
+                    "iteration": np.zeros(2),
+                    "thread": np.zeros(2),
+                    "compute_time_s": np.zeros(2),
+                    "bogus": np.zeros(2),
+                }
+            )
+
+
+class TestAsciiRendering:
+    def test_histogram_rendering_contains_counts(self, rng):
+        hist = fixed_width_histogram(rng.normal(26e-3, 0.5e-3, size=500), 0.2e-3)
+        text = ascii_histogram(hist)
+        assert "500 samples" in text
+        assert "#" in text
+
+    def test_histogram_merging_for_many_bins(self, rng):
+        hist = fixed_width_histogram(rng.uniform(0.0, 1.0, size=2000), 1e-3)
+        text = ascii_histogram(hist, max_rows=20)
+        assert "bins/row" in text
+        assert len(text.splitlines()) <= 22
+
+    def test_percentile_plot_dimensions(self, rng):
+        series = PercentileSeries.from_samples(rng.normal(25.0, 1.0, size=(50, 200)))
+        text = ascii_percentile_plot(series, width=60, height=12)
+        lines = text.splitlines()
+        assert len(lines) == 13
+        assert "p50" in lines[-1]
+
+    def test_table_alignment_and_floats(self):
+        rows = [
+            {"application": "MiniFE", "value": 3.14159},
+            {"application": "MiniMD", "value": 77.0, "extra": "x"},
+        ]
+        text = ascii_table(rows)
+        assert "MiniFE" in text and "3.14" in text and "extra" in text
+
+    def test_empty_table(self):
+        assert ascii_table([]) == "(empty table)"
+
+    def test_invalid_dimensions_rejected(self, rng):
+        series = PercentileSeries.from_samples(rng.normal(size=(5, 50)))
+        with pytest.raises(ValueError):
+            ascii_percentile_plot(series, width=5)
+        hist = fixed_width_histogram([1.0, 2.0], 0.5)
+        with pytest.raises(ValueError):
+            ascii_histogram(hist, width=2)
+
+
+class TestCsvExport:
+    def test_histogram_csv(self, rng, tmp_path):
+        hist = fixed_width_histogram(rng.normal(size=100), 0.5)
+        path = export_histogram_csv(hist, tmp_path / "h.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == hist.n_bins + 1
+        assert lines[0].startswith("bin_start")
+
+    def test_percentiles_csv(self, rng, tmp_path):
+        series = PercentileSeries.from_samples(rng.normal(size=(8, 100)))
+        path = export_percentiles_csv(series, tmp_path / "p.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 9
+        assert lines[0].split(",")[0] == "iteration"
+
+    def test_rows_csv_union_of_keys(self, tmp_path):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "c": 4}]
+        path = export_rows_csv(rows, tmp_path / "rows.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == "a,b,c"

@@ -1,0 +1,60 @@
+"""Unit tests for the analytic collective cost models."""
+
+import math
+
+import pytest
+
+from repro.mpi.collectives import (
+    allgather_time,
+    allreduce_time,
+    barrier_time,
+    bcast_time,
+    halo_exchange_time,
+    reduce_time,
+)
+from repro.mpi.network import omni_path
+
+NET = omni_path()
+
+
+class TestCollectiveCosts:
+    def test_single_rank_collectives_are_free(self):
+        assert barrier_time(NET, 1) == 0.0
+        assert bcast_time(NET, 1, 1024) == 0.0
+        assert allreduce_time(NET, 1, 1024) == 0.0
+        assert allgather_time(NET, 1, 1024) == 0.0
+
+    def test_barrier_scales_logarithmically(self):
+        t2 = barrier_time(NET, 2)
+        t16 = barrier_time(NET, 16)
+        assert t16 == pytest.approx(4 * t2)
+
+    def test_bcast_grows_with_size_and_ranks(self):
+        assert bcast_time(NET, 8, 1 << 20) > bcast_time(NET, 8, 1 << 10)
+        assert bcast_time(NET, 16, 1 << 10) > bcast_time(NET, 4, 1 << 10)
+
+    def test_reduce_equals_bcast_model(self):
+        assert reduce_time(NET, 8, 4096) == pytest.approx(bcast_time(NET, 8, 4096))
+
+    def test_allreduce_rounds(self):
+        single_round = allreduce_time(NET, 2, 8192)
+        assert allreduce_time(NET, 8, 8192) == pytest.approx(3 * single_round)
+
+    def test_allgather_linear_in_ranks(self):
+        per_step = allgather_time(NET, 2, 1024)
+        assert allgather_time(NET, 5, 1024) == pytest.approx(4 * per_step)
+
+    def test_halo_exchange_zero_neighbors_free(self):
+        assert halo_exchange_time(NET, 1024, n_neighbors=0) == 0.0
+
+    def test_halo_exchange_serialises_outgoing_data(self):
+        one = halo_exchange_time(NET, 1 << 20, n_neighbors=1)
+        six = halo_exchange_time(NET, 1 << 20, n_neighbors=6)
+        assert six > one
+        assert six < 6.5 * one  # latency paid once, serialisation six times
+
+    def test_invalid_rank_counts_rejected(self):
+        with pytest.raises(ValueError):
+            barrier_time(NET, 0)
+        with pytest.raises(ValueError):
+            halo_exchange_time(NET, 10, n_neighbors=-1)

@@ -1,0 +1,106 @@
+"""Unit tests for point-to-point messaging and communicators."""
+
+import pytest
+
+from repro.mpi.comm import Communicator
+from repro.mpi.p2p import ANY_SOURCE, ANY_TAG, Message, MessageQueue
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Delay
+
+
+class TestMessageMatching:
+    def test_message_matches_wildcards(self):
+        message = Message(source=2, dest=0, tag=7, nbytes=8)
+        assert message.matches(ANY_SOURCE, ANY_TAG)
+        assert message.matches(2, 7)
+        assert not message.matches(1, 7)
+        assert not message.matches(2, 8)
+
+    def test_unexpected_message_then_receive(self):
+        engine = SimulationEngine()
+        queue = MessageQueue(engine, rank=0)
+        queue.deliver(Message(source=1, dest=0, tag=3, nbytes=8))
+        assert queue.pending_unexpected == 1
+        event = queue.post_receive(source=1, tag=3)
+        assert event.triggered
+        assert queue.pending_unexpected == 0
+
+    def test_posted_receive_then_delivery(self):
+        engine = SimulationEngine()
+        queue = MessageQueue(engine, rank=0)
+        event = queue.post_receive(source=ANY_SOURCE, tag=ANY_TAG)
+        assert not event.triggered
+        queue.deliver(Message(source=5, dest=0, tag=1, nbytes=16))
+        assert event.triggered
+        assert event.value.source == 5
+
+    def test_non_matching_receive_stays_posted(self):
+        engine = SimulationEngine()
+        queue = MessageQueue(engine, rank=0)
+        event = queue.post_receive(source=3, tag=9)
+        queue.deliver(Message(source=1, dest=0, tag=9, nbytes=4))
+        assert not event.triggered
+        assert queue.pending_unexpected == 1
+        assert queue.pending_receives == 1
+
+
+class TestCommunicator:
+    def test_send_recv_round_trip(self):
+        engine = SimulationEngine()
+        comm = Communicator(engine, 2)
+        received = {}
+
+        def sender():
+            yield Delay(1.0e-3)
+            yield from comm.rank(0).send(1, nbytes=4096, tag=5, payload="hello")
+
+        def receiver():
+            message = yield from comm.rank(1).recv(source=0, tag=5)
+            received["message"] = message
+            received["time"] = engine.now
+
+        procs = [engine.spawn(receiver()), engine.spawn(sender())]
+        engine.run_until_complete(procs)
+        assert received["message"].payload == "hello"
+        # arrival strictly after the send was posted (latency + serialisation)
+        assert received["time"] > 1.0e-3
+
+    def test_isend_schedules_future_delivery(self):
+        engine = SimulationEngine()
+        comm = Communicator(engine, 2)
+        message = comm.rank(0).isend(1, nbytes=1 << 20)
+        assert message.arrival_time > 0.0
+        engine.run()
+        assert comm.rank(1).queue.delivered == 1
+
+    def test_barrier_releases_all_ranks_together(self):
+        engine = SimulationEngine()
+        comm = Communicator(engine, 4)
+        release_times = {}
+
+        def body(rank, delay):
+            yield Delay(delay)
+            yield from comm.rank(rank).barrier()
+            release_times[rank] = engine.now
+
+        procs = [
+            engine.spawn(body(r, 0.5e-3 * (r + 1))) for r in range(4)
+        ]
+        engine.run_until_complete(procs)
+        assert len(set(round(t, 12) for t in release_times.values())) == 1
+        assert min(release_times.values()) >= 2.0e-3  # last arrival
+
+    def test_hops_depend_on_placement(self):
+        from repro.cluster.topology import Cluster
+
+        cluster = Cluster(2, sockets_per_node=2, cores_per_socket=24)
+        placements = cluster.place_processes(2, 48)
+        engine = SimulationEngine()
+        comm = Communicator(engine, 2, cluster=cluster, placements=placements)
+        assert comm.hops_between(0, 0) == 0
+        assert comm.hops_between(0, 1) == 2
+
+    def test_invalid_rank_lookup(self):
+        comm = Communicator(SimulationEngine(), 2)
+        with pytest.raises(IndexError):
+            comm.rank(2)

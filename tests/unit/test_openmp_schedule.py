@@ -1,0 +1,111 @@
+"""Unit tests for OpenMP loop schedules."""
+
+import numpy as np
+import pytest
+
+from repro.openmp.schedule import (
+    DynamicSchedule,
+    GuidedSchedule,
+    StaticSchedule,
+    schedule_from_name,
+)
+
+
+def _coverage_ok(assignment, n_items):
+    """Every item appears exactly once across all threads."""
+    combined = np.concatenate([np.asarray(a) for a in assignment])
+    return sorted(combined.tolist()) == list(range(n_items))
+
+
+class TestStaticSchedule:
+    def test_blocks_are_contiguous_and_cover_items(self):
+        schedule = StaticSchedule()
+        assignment = schedule.static_assignment(200, 48)
+        assert _coverage_ok(assignment, 200)
+        sizes = [len(a) for a in assignment]
+        # 200 = 48*4 + 8: the first 8 threads get 5 items
+        assert sizes[:8] == [5] * 8
+        assert sizes[8:] == [4] * 40
+        for block in assignment:
+            if len(block) > 1:
+                assert np.all(np.diff(block) == 1)
+
+    def test_chunked_static_deals_round_robin(self):
+        schedule = StaticSchedule(chunk=2)
+        assignment = schedule.static_assignment(8, 2)
+        assert assignment[0].tolist() == [0, 1, 4, 5]
+        assert assignment[1].tolist() == [2, 3, 6, 7]
+
+    def test_more_threads_than_items_gives_empty_blocks(self):
+        assignment = StaticSchedule().static_assignment(3, 8)
+        assert _coverage_ok(assignment, 3)
+        assert sum(len(a) == 0 for a in assignment) == 5
+
+    def test_simulate_busy_time_sums_costs(self):
+        costs = np.arange(1.0, 11.0)
+        outcome = StaticSchedule().simulate(costs, 2)
+        np.testing.assert_allclose(outcome.busy_time, [15.0, 40.0])
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            StaticSchedule(chunk=0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            StaticSchedule().simulate(np.array([-1.0]), 2)
+
+
+class TestDynamicSchedule:
+    def test_covers_all_items(self):
+        costs = np.random.default_rng(0).uniform(0.5, 1.5, size=101)
+        outcome = DynamicSchedule(chunk=4).simulate(costs, 7)
+        assert _coverage_ok(outcome.assignment, 101)
+        assert outcome.busy_time.sum() == pytest.approx(costs.sum())
+
+    def test_balances_skewed_costs_better_than_static(self):
+        # one very expensive item at the front: static gives it plus an equal
+        # share of the rest to thread 0; dynamic lets other threads absorb
+        # the remaining items
+        costs = np.ones(64)
+        costs[0] = 50.0
+        static = StaticSchedule().simulate(costs, 8)
+        dynamic = DynamicSchedule(chunk=1).simulate(costs, 8)
+        assert dynamic.busy_time.max() < static.busy_time.max()
+
+    def test_chunk_size_respected(self):
+        outcome = DynamicSchedule(chunk=5).simulate(np.ones(23), 4)
+        chunk_sizes = [n for _, _, n in outcome.chunks]
+        assert chunk_sizes[:-1] == [5] * 4
+        assert chunk_sizes[-1] == 3
+
+
+class TestGuidedSchedule:
+    def test_chunks_shrink(self):
+        outcome = GuidedSchedule(min_chunk=2).simulate(np.ones(100), 4)
+        sizes = [n for _, _, n in outcome.chunks]
+        assert sizes[0] > sizes[-1]
+        assert min(sizes[:-1]) >= 2
+        assert _coverage_ok(outcome.assignment, 100)
+
+
+class TestScheduleFromName:
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("static", StaticSchedule),
+            ("dynamic", DynamicSchedule),
+            ("guided", GuidedSchedule),
+            ("STATIC", StaticSchedule),
+        ],
+    )
+    def test_names(self, name, expected_type):
+        assert isinstance(schedule_from_name(name), expected_type)
+
+    def test_chunk_parsing(self):
+        schedule = schedule_from_name("dynamic,16")
+        assert isinstance(schedule, DynamicSchedule)
+        assert schedule.chunk == 16
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_from_name("fancy")

@@ -1,0 +1,57 @@
+"""Unit tests for the simulation event primitives."""
+
+import pytest
+
+from repro.sim.events import Delay, SimEvent, Signal, WaitEvent
+
+
+class TestSimEvent:
+    def test_starts_untriggered(self):
+        event = SimEvent("e")
+        assert not event.triggered
+        assert event.value is None
+        assert event.trigger_time is None
+
+    def test_trigger_stores_value_and_time(self):
+        event = SimEvent("e")
+        event.trigger(42, time=1.5)
+        assert event.triggered
+        assert event.value == 42
+        assert event.trigger_time == 1.5
+
+    def test_double_trigger_rejected(self):
+        event = SimEvent("e")
+        event.trigger()
+        with pytest.raises(RuntimeError):
+            event.trigger()
+
+    def test_waiters_called_once_with_value(self):
+        event = SimEvent("e")
+        seen = []
+        event.add_waiter(seen.append)
+        event.add_waiter(seen.append)
+        event.trigger("payload")
+        assert seen == ["payload", "payload"]
+
+    def test_add_waiter_after_trigger_rejected(self):
+        event = SimEvent("e")
+        event.trigger()
+        with pytest.raises(RuntimeError):
+            event.add_waiter(lambda value: None)
+
+
+class TestCommands:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-0.1)
+
+    def test_zero_delay_allowed(self):
+        assert Delay(0.0).duration == 0.0
+
+    def test_wait_event_wraps_event(self):
+        event = SimEvent("e")
+        assert WaitEvent(event).event is event
+
+    def test_signal_defaults_to_none_value(self):
+        event = SimEvent("e")
+        assert Signal(event).value is None

@@ -1,0 +1,64 @@
+"""Unit tests for vectorised sample moments."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.moments import (
+    central_moment,
+    coefficient_of_variation,
+    kurtosis,
+    skewness,
+    standardize,
+)
+
+
+class TestMoments:
+    def test_skewness_matches_scipy_biased(self, rng):
+        data = rng.exponential(size=(50, 30))
+        np.testing.assert_allclose(
+            skewness(data), scipy_stats.skew(data, axis=-1, bias=True), rtol=1e-12
+        )
+
+    def test_kurtosis_matches_scipy_pearson(self, rng):
+        data = rng.normal(size=(50, 30))
+        np.testing.assert_allclose(
+            kurtosis(data),
+            scipy_stats.kurtosis(data, axis=-1, fisher=False, bias=True),
+            rtol=1e-12,
+        )
+
+    def test_fisher_kurtosis_of_normal_near_zero(self, rng):
+        data = rng.normal(size=200_000)
+        assert abs(kurtosis(data, fisher=True)) < 0.05
+
+    def test_constant_data_has_zero_skew_and_kurtosis(self):
+        data = np.full((3, 10), 7.0)
+        np.testing.assert_array_equal(skewness(data), 0.0)
+        np.testing.assert_array_equal(kurtosis(data), 0.0)
+
+    def test_central_moment_second_is_biased_variance(self, rng):
+        data = rng.normal(size=(4, 100))
+        np.testing.assert_allclose(
+            central_moment(data, 2), data.var(axis=-1), rtol=1e-12
+        )
+
+    def test_standardize_zero_mean_unit_std(self, rng):
+        data = rng.normal(5.0, 3.0, size=(6, 200))
+        z = standardize(data)
+        np.testing.assert_allclose(z.mean(axis=-1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=-1, ddof=1), 1.0, rtol=1e-12)
+
+    def test_standardize_constant_rows_are_zero(self):
+        z = standardize(np.full((2, 5), 3.0))
+        np.testing.assert_array_equal(z, 0.0)
+
+    def test_coefficient_of_variation(self):
+        data = np.array([[10.0, 10.0, 10.0], [1.0, 2.0, 3.0]])
+        cv = coefficient_of_variation(data)
+        assert cv[0] == 0.0
+        assert cv[1] == pytest.approx(1.0 / 2.0, rel=1e-12)
+
+    def test_empty_last_axis_rejected(self):
+        with pytest.raises(ValueError):
+            skewness(np.empty((3, 0)))

@@ -1,0 +1,115 @@
+"""Unit tests for percentile series and fixed-width histograms."""
+
+import numpy as np
+import pytest
+
+from repro.stats.histogram import FixedWidthHistogram, fixed_width_histogram, histogram_overlap
+from repro.stats.percentiles import DEFAULT_PERCENTILES, PercentileSeries, iqr, percentile_table
+
+
+class TestPercentiles:
+    def test_iqr_of_uniform_grid(self):
+        data = np.arange(101.0)
+        assert iqr(data) == pytest.approx(50.0)
+
+    def test_percentile_table_shape(self, rng):
+        data = rng.normal(size=(30, 100))
+        table = percentile_table(data)
+        assert table.shape == (len(DEFAULT_PERCENTILES), 30)
+
+    def test_series_from_samples_median_and_iqr(self, rng):
+        samples = rng.normal(50.0, 5.0, size=(20, 4000))
+        series = PercentileSeries.from_samples(samples)
+        assert series.median.shape == (20,)
+        np.testing.assert_allclose(series.median, 50.0, atol=0.5)
+        np.testing.assert_allclose(series.iqr, 5.0 * 1.349, rtol=0.1)
+
+    def test_series_accessors(self, rng):
+        series = PercentileSeries.from_samples(rng.normal(size=(10, 500)))
+        assert series.series(25.0).shape == (10,)
+        with pytest.raises(KeyError):
+            series.series(33.0)
+        summary = series.iqr_summary(slice(0, 5))
+        assert summary["max"] >= summary["mean"]
+
+    def test_skew_direction_detects_early_arrivals(self, rng):
+        # left-skewed: a few very small values, bulk near 25 ms
+        bulk = rng.normal(25.0, 0.1, size=(10, 1000))
+        bulk[:, :100] = 22.0
+        assert PercentileSeries.from_samples(bulk).skew_direction() == "early"
+
+    def test_skew_direction_symmetric(self, rng):
+        series = PercentileSeries.from_samples(rng.normal(25.0, 1.0, size=(10, 5000)))
+        assert series.skew_direction() == "symmetric"
+
+    def test_to_dict_round_trip_lengths(self, rng):
+        series = PercentileSeries.from_samples(rng.normal(size=(7, 100)))
+        payload = series.to_dict()
+        assert len(payload["iteration"]) == 7
+        assert len(payload["p50"]) == 7
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PercentileSeries(
+                iterations=np.arange(3),
+                percentiles=(50.0,),
+                values=np.zeros((2, 3)),
+            )
+
+
+class TestFixedWidthHistogram:
+    def test_bin_width_is_exact(self, rng):
+        samples = rng.normal(26.3e-3, 0.5e-3, size=10_000)
+        hist = fixed_width_histogram(samples, 10.0e-6)
+        widths = np.diff(hist.edges)
+        np.testing.assert_allclose(widths, 10.0e-6, rtol=1e-9)
+        assert hist.total == 10_000
+
+    def test_counts_match_numpy_histogram(self, rng):
+        samples = rng.uniform(0.0, 1.0, size=5000)
+        hist = fixed_width_histogram(samples, 0.05)
+        assert hist.counts.sum() == 5000
+        assert hist.edges[0] <= samples.min()
+        assert hist.edges[-1] >= samples.max()
+
+    def test_mode_center_near_distribution_peak(self, rng):
+        samples = rng.normal(26.3e-3, 0.2e-3, size=50_000)
+        hist = fixed_width_histogram(samples, 10.0e-6)
+        assert hist.mode_center == pytest.approx(26.3e-3, abs=0.1e-3)
+
+    def test_density_integrates_to_one(self, rng):
+        hist = fixed_width_histogram(rng.normal(size=1000), 0.1)
+        assert np.sum(hist.density() * hist.bin_width) == pytest.approx(1.0)
+
+    def test_spread_covers_occupied_range(self):
+        hist = fixed_width_histogram([0.0, 1.0], 0.25)
+        assert hist.spread() >= 1.0
+
+    def test_guard_against_unit_mistakes(self, rng):
+        with pytest.raises(ValueError, match="bins"):
+            fixed_width_histogram(rng.uniform(0, 1000.0, size=10), 1e-6, max_bins=1000)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fixed_width_histogram([], 0.1)
+        with pytest.raises(ValueError):
+            fixed_width_histogram([1.0], 0.0)
+        with pytest.raises(ValueError):
+            fixed_width_histogram([1.0], 0.1, origin=2.0)
+
+    def test_overlap_of_identical_histograms_is_one(self, rng):
+        samples = rng.normal(size=2000)
+        a = fixed_width_histogram(samples, 0.1)
+        b = fixed_width_histogram(samples, 0.1)
+        assert histogram_overlap(a, b) == pytest.approx(1.0)
+
+    def test_overlap_of_disjoint_histograms_is_zero(self):
+        a = fixed_width_histogram([0.0, 0.1, 0.2], 0.1)
+        b = fixed_width_histogram([10.0, 10.1], 0.1)
+        assert histogram_overlap(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_overlap_requires_same_bin_width(self):
+        a = fixed_width_histogram([0.0, 1.0], 0.1)
+        b = fixed_width_histogram([0.0, 1.0], 0.2)
+        with pytest.raises(ValueError):
+            histogram_overlap(a, b)

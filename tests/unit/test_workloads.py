@@ -1,0 +1,97 @@
+"""Unit tests for the synthetic arrival models and synthetic application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.workloads import (
+    BimodalArrival,
+    LaggardArrival,
+    NormalArrival,
+    SkewedArrival,
+    SyntheticApp,
+    SyntheticConfig,
+    TwoPhaseArrival,
+    UniformArrival,
+)
+
+
+class TestArrivalModels:
+    def test_normal_arrival_statistics(self, rng):
+        model = NormalArrival(mean_s=25e-3, sd_s=1e-3)
+        samples = model.sample_many(200, 48, rng)
+        assert samples.shape == (200, 48)
+        assert samples.mean() == pytest.approx(25e-3, rel=0.01)
+        assert samples.std() == pytest.approx(1e-3, rel=0.1)
+        assert np.all(samples >= 0.0)
+
+    def test_uniform_arrival_bounds(self, rng):
+        samples = UniformArrival(10e-3, 20e-3).sample(1000, rng)
+        assert samples.min() >= 10e-3
+        assert samples.max() <= 20e-3
+
+    def test_laggard_arrival_has_expected_stragglers(self, rng):
+        model = LaggardArrival(laggard_delay_s=5e-3, n_laggards=2)
+        sample = model.sample(48, rng)
+        late = np.sum(sample > model.mean_s + 2.5e-3)
+        assert late == 2
+
+    def test_bimodal_populations(self, rng):
+        model = BimodalArrival(early_mean_s=20e-3, late_mean_s=30e-3, early_fraction=0.25)
+        sample = model.sample(48, rng)
+        assert np.sum(sample < 25e-3) == 12
+
+    def test_skewed_arrival_right_tail(self, rng):
+        samples = SkewedArrival(median_s=25e-3, sigma=0.2).sample_many(100, 48, rng)
+        from scipy import stats as ss
+
+        assert ss.skew(samples.ravel()) > 0.3
+
+    def test_two_phase_switches_model(self, rng):
+        model = TwoPhaseArrival(warmup_iterations=5)
+        warm = model.sample_iteration(2, 1000, rng)
+        steady = model.sample_iteration(50, 1000, rng)
+        assert warm.std() > steady.std() * 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            NormalArrival().sample(0, rng)
+        with pytest.raises(ValueError):
+            LaggardArrival(n_laggards=100).sample(48, rng)
+        with pytest.raises(ValueError):
+            UniformArrival(2.0, 1.0).sample(10, rng)
+
+
+class TestSyntheticApp:
+    def test_item_costs_follow_configured_model(self, rng):
+        app = SyntheticApp(SyntheticConfig(model=NormalArrival(10e-3, 0.1e-3), n_threads=16))
+        costs = app.item_costs(0, 0, rng)
+        assert costs.shape == (16,)
+        assert costs.mean() == pytest.approx(10e-3, rel=0.05)
+
+    def test_two_phase_model_uses_iteration_index(self, rng):
+        app = SyntheticApp(
+            SyntheticConfig(model=TwoPhaseArrival(warmup_iterations=10), n_threads=64)
+        )
+        warm = app.item_costs(0, 1, rng)
+        steady = app.item_costs(0, 50, rng)
+        assert warm.std() > steady.std()
+
+    def test_reference_kernel_reports_model_statistics(self, rng):
+        app = SyntheticApp()
+        result = app.run_reference_kernel(rng)
+        assert result["min_s"] <= result["mean_s"] <= result["max_s"]
+
+    def test_label_propagates_to_name(self):
+        app = SyntheticApp(SyntheticConfig(label="what-if"))
+        assert app.name == "what-if"
+
+
+class TestRegistry:
+    def test_get_application_by_name(self):
+        for name in ("minife", "minimd", "miniqmc"):
+            assert get_application(name).name == name
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ValueError):
+            get_application("hpl")
