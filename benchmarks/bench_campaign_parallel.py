@@ -1,0 +1,67 @@
+"""Serial vs parallel campaign throughput.
+
+Benchmarks the same benchmark-scale MiniFE campaign executed serially and
+fanned out across a 4-worker process pool (``CampaignConfig.max_workers``).
+The qualitative claims asserted before timing:
+
+* the parallel run is bit-identical to the serial run (the executor's
+  per-shard stream re-derivation guarantee), and
+* parallelism actually helps — the grouped pytest-benchmark output
+  (``--benchmark-only --benchmark-group-by=group``) shows the serial/parallel
+  ratio; on a ≥4-core machine the 4-worker run completes the campaign's
+  2×2 shards concurrently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import CampaignConfig
+from repro.experiments.session import CampaignSession
+
+
+def _config(max_workers: int) -> CampaignConfig:
+    return CampaignConfig.benchmark_scale(application="minife").parallel(max_workers)
+
+
+def _run(max_workers: int):
+    return CampaignSession(_config(max_workers)).run().dataset
+
+
+@pytest.mark.benchmark(group="campaign-parallel")
+def test_campaign_serial_baseline(benchmark):
+    dataset = benchmark(_run, 1)
+    assert dataset.n_samples == _config(1).samples_per_application
+
+
+@pytest.mark.benchmark(group="campaign-parallel")
+def test_campaign_parallel_4_workers(benchmark):
+    serial = _run(1)
+    dataset = benchmark(_run, 4)
+    assert dataset.n_samples == serial.n_samples
+    assert set(dataset.columns) == set(serial.columns)
+    for name in serial.columns:
+        np.testing.assert_array_equal(dataset.column(name), serial.column(name))
+
+
+# ----------------------------------------------------------------------
+# A deeper campaign (8 trials -> 16 shards) amortises the one-off pool
+# start-up, showing the asymptotic serial/parallel ratio a paper-scale
+# campaign sees.
+# ----------------------------------------------------------------------
+def _scaled_run(max_workers: int):
+    config = _config(max_workers).scaled(trials=8)
+    return CampaignSession(config).run().dataset
+
+
+@pytest.mark.benchmark(group="campaign-parallel-16-shards")
+def test_scaled_campaign_serial_baseline(benchmark):
+    dataset = benchmark(_scaled_run, 1)
+    assert dataset.n_trials == 8
+
+
+@pytest.mark.benchmark(group="campaign-parallel-16-shards")
+def test_scaled_campaign_parallel_4_workers(benchmark):
+    dataset = benchmark(_scaled_run, 4)
+    assert dataset.n_trials == 8

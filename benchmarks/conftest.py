@@ -18,8 +18,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.analyzer import ThreadTimingAnalyzer
-from repro.experiments.campaign import run_campaign
 from repro.experiments.config import CampaignConfig
+from repro.experiments.session import CampaignSession
 
 APPLICATIONS = ("minife", "minimd", "miniqmc")
 
@@ -32,10 +32,11 @@ def bench_config() -> CampaignConfig:
 @pytest.fixture(scope="session")
 def bench_datasets(bench_config):
     """Benchmark-scale datasets for all three applications."""
-    datasets = {}
-    for name in APPLICATIONS:
-        datasets[name] = run_campaign(bench_config.for_application(name))
-    return datasets
+    session = CampaignSession(bench_config)
+    return {
+        name: result.dataset
+        for name, result in session.run_all(APPLICATIONS).items()
+    }
 
 
 @pytest.fixture(scope="session")

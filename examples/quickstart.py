@@ -24,7 +24,7 @@ import math
 
 import numpy as np
 
-from repro import quick_campaign
+from repro import CampaignConfig, CampaignSession
 from repro.core import ThreadTimingAnalyzer, compare_strategies
 from repro.core.instrument import PythonThreadRegion
 from repro.viz import ascii_histogram, ascii_table
@@ -56,10 +56,12 @@ def run_simulated_campaign():
     print("=" * 72)
     print("Step 2: simulated MiniFE campaign (reduced scale)")
     print("=" * 72)
-    dataset = quick_campaign(
-        "minife", trials=1, processes=2, iterations=40, threads=48, seed=2023
+    config = CampaignConfig(
+        application="minife", trials=1, processes=2, iterations=40, threads=48,
+        seed=2023,
     )
-    analyzer = ThreadTimingAnalyzer(dataset)
+    session = CampaignSession(config)
+    analyzer = session.run().analyze()
     report = analyzer.report()
     print(report.summary())
     print()

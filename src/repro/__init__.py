@@ -26,18 +26,25 @@ contribution (thread-timing instrumentation and analysis) on top:
     Proxy applications (MiniFE, MiniMD, MiniQMC) re-implemented as timed
     kernels plus calibrated per-thread work/cost models.
 ``repro.experiments``
-    Campaign runner and per-table/per-figure generators for the paper's
-    evaluation section.
+    The campaign execution API — a registry of pluggable execution backends,
+    a parallel sharded executor and the :class:`CampaignSession` facade —
+    plus per-table/per-figure generators for the paper's evaluation section.
 
 Quickstart
 ----------
 
->>> from repro import quick_campaign
->>> from repro.core import ThreadTimingAnalyzer
->>> ds = quick_campaign("minife", trials=1, processes=2, iterations=20)
->>> report = ThreadTimingAnalyzer(ds).report()
+>>> from repro import CampaignConfig, CampaignSession
+>>> session = CampaignSession(CampaignConfig.smoke())
+>>> report = session.run("minife").analyze().report()
 >>> 0.0 <= report.laggard_fraction <= 1.0
 True
+
+``CampaignConfig(max_workers=4)`` fans the campaign's (trial, process)
+shards out across a worker pool with bit-identical results;
+``session.stream()`` iterates shard-by-shard without materialising the dense
+dataset; ``repro.experiments.register_backend`` plugs in new execution
+strategies alongside the built-in ``vectorized``, ``event`` and ``chunked``
+backends.
 """
 
 from __future__ import annotations
@@ -50,23 +57,31 @@ __all__ = [
     "__version__",
     "TimingDataset",
     "TimingRecord",
+    "TimingShard",
     "ThreadTimingAnalyzer",
     "CampaignConfig",
+    "CampaignSession",
+    "register_backend",
     "quick_campaign",
     "run_campaign",
 ]
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.core.analyzer import ThreadTimingAnalyzer
-    from repro.core.timing import TimingDataset, TimingRecord
+    from repro.core.timing import TimingDataset, TimingRecord, TimingShard
+    from repro.experiments.backends import register_backend
     from repro.experiments.campaign import quick_campaign, run_campaign
     from repro.experiments.config import CampaignConfig
+    from repro.experiments.session import CampaignSession
 
 _LAZY_EXPORTS = {
     "TimingDataset": ("repro.core.timing", "TimingDataset"),
     "TimingRecord": ("repro.core.timing", "TimingRecord"),
+    "TimingShard": ("repro.core.timing", "TimingShard"),
     "ThreadTimingAnalyzer": ("repro.core.analyzer", "ThreadTimingAnalyzer"),
     "CampaignConfig": ("repro.experiments.config", "CampaignConfig"),
+    "CampaignSession": ("repro.experiments.session", "CampaignSession"),
+    "register_backend": ("repro.experiments.backends", "register_backend"),
     "quick_campaign": ("repro.experiments.campaign", "quick_campaign"),
     "run_campaign": ("repro.experiments.campaign", "run_campaign"),
 }

@@ -58,6 +58,58 @@ class TimingRecord:
         return self.compute_time_s * 1.0e3
 
 
+@dataclass(frozen=True)
+class TimingShard:
+    """One campaign shard: the timing columns of a (trial, process) slice.
+
+    Shards are the unit of work of the sharded campaign backends and of the
+    parallel executor: each holds the columns of one trial/process chunk and
+    knows where it belongs, so a set of shards can be merged back into a
+    :class:`TimingDataset` in the deterministic serial order regardless of the
+    order in which workers produced them.
+
+    ``process is None`` marks a shard covering *all* processes of its trial
+    (the event-driven backend shards at trial granularity, because the
+    per-trial clock domain is consumed across processes).
+    """
+
+    trial: int
+    process: Optional[int]
+    columns: Mapping[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        required = {"trial", "process", "iteration", "thread", "compute_time_s"}
+        missing = required - set(self.columns)
+        if missing:
+            raise ValueError(f"shard is missing required columns: {sorted(missing)}")
+        lengths = {name: len(arr) for name, arr in self.columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"shard columns have unequal lengths: {lengths}")
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.columns["compute_time_s"])
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        """Position of this shard in the serial (trial-major) row order."""
+        return (self.trial, -1 if self.process is None else self.process)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: "TimingDataset", *, trial: int, process: Optional[int]
+    ) -> "TimingShard":
+        """Wrap an already-built dataset slice as a shard."""
+        columns = {name: dataset.column(name) for name in dataset.columns}
+        return cls(trial=trial, process=process, columns=columns)
+
+    def to_dataset(
+        self, metadata: Optional[Dict[str, object]] = None
+    ) -> "TimingDataset":
+        """Materialise this shard alone as a :class:`TimingDataset`."""
+        return TimingDataset(dict(self.columns), metadata)
+
+
 class TimingDataset:
     """Columnar collection of :class:`TimingRecord` rows plus metadata.
 
@@ -155,6 +207,35 @@ class TimingDataset:
             "iteration": iteration.ravel(),
             "thread": thread.ravel(),
             "compute_time_s": arr.ravel(),
+        }
+        return cls(columns, metadata)
+
+    @classmethod
+    def merge(
+        cls,
+        shards: Iterable[TimingShard],
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "TimingDataset":
+        """Merge campaign shards into one dataset, in serial row order.
+
+        Shards are ordered by ``(trial, process)`` before concatenation, so
+        the merged dataset is bit-identical to the one a serial trial-major /
+        process-minor campaign loop would have produced — whichever order the
+        parallel executor completed the shards in.
+        """
+        parts = sorted(shards, key=lambda shard: shard.sort_key)
+        if not parts:
+            raise ValueError("cannot merge zero shards")
+        names = set(parts[0].columns)
+        for shard in parts[1:]:
+            if set(shard.columns) != names:
+                raise ValueError(
+                    "shards have mismatching columns: "
+                    f"{sorted(names)} vs {sorted(shard.columns)}"
+                )
+        columns = {
+            name: np.concatenate([np.asarray(shard.columns[name]) for shard in parts])
+            for name in parts[0].columns
         }
         return cls(columns, metadata)
 

@@ -1,0 +1,320 @@
+"""Pluggable campaign execution backends.
+
+A :class:`CampaignBackend` turns a :class:`~repro.experiments.config.CampaignConfig`
+into timing samples.  Backends are registered by name with
+:func:`register_backend` and looked up with :func:`get_backend`, so new
+execution strategies (cached, distributed, GPU-resident, ...) plug into the
+campaign layer without touching it.  Three backends ship with the package:
+
+* ``"vectorized"`` — the application's calibrated work/cost/noise models are
+  sampled directly (no event engine).  This is how full paper-scale campaigns
+  (768 000 samples per application) complete in seconds.
+* ``"event"`` — every thread is a process on the discrete-event engine, the
+  entry/exit barriers and every noise preemption happen as events, and the
+  timestamps come from the per-core monotonic clocks.  Slower; used by the
+  examples and by integration tests that check the backends agree.
+* ``"chunked"`` — the vectorized math, exposed as a lazy stream of
+  per-(trial, process) :class:`~repro.core.timing.TimingShard` chunks instead
+  of one eagerly-materialised dense dataset.  This is the memory-bounded
+  streaming path of :class:`~repro.experiments.session.CampaignSession`.
+
+Every backend decomposes its campaign into *shards* (:meth:`shard_specs` /
+:meth:`run_shard`).  A shard re-derives all of its random streams from the
+campaign's root seed by name, which makes shards order-independent: the
+parallel executor can run them in any order on any worker and the merged
+result stays bit-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.apps import get_application
+from repro.apps.base import ProxyApplication
+from repro.core.instrument import RegionInstrumenter
+from repro.core.timing import TimingDataset, TimingShard
+from repro.sim.random import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.experiments.config import CampaignConfig
+
+
+def build_application(config: "CampaignConfig") -> ProxyApplication:
+    """Instantiate the configured application with campaign-sized threading.
+
+    The application's :class:`~repro.apps.base.ApplicationConfig` is replaced
+    with a fresh copy (never mutated in place), so campaign sizing can't leak
+    into other campaigns sharing an application instance or config object.
+    """
+    app = get_application(config.application)
+    app.config = dataclasses.replace(
+        app.config, n_threads=config.threads, n_iterations=config.iterations
+    )
+    return app
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """Address of one unit of campaign work.
+
+    ``process is None`` addresses all processes of the trial (used by
+    backends that can only shard at trial granularity).
+    """
+
+    trial: int
+    process: Optional[int] = None
+
+
+class CampaignBackend(ABC):
+    """Execution strategy of a measurement campaign.
+
+    Subclasses implement the shard decomposition (:meth:`shard_specs`) and
+    the per-shard execution (:meth:`run_shard`); the base class provides the
+    serial drivers (:meth:`run`, :meth:`iter_shards`) on top of them.
+    """
+
+    #: registered backend name (set by :func:`register_backend`)
+    name: str = "abstract"
+    #: whether the backend is primarily consumed as a shard stream
+    streaming: bool = False
+
+    # ------------------------------------------------------------------
+    # shard decomposition
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def shard_specs(self, config: "CampaignConfig") -> List[ShardSpec]:
+        """The campaign's shards, in serial (trial-major) order."""
+
+    @abstractmethod
+    def run_shard(
+        self, config: "CampaignConfig", spec: ShardSpec, streams: RandomStreams
+    ) -> TimingShard:
+        """Execute one shard.  Must only use streams derived by name from
+        ``streams`` so that execution is independent of shard order."""
+
+    # ------------------------------------------------------------------
+    # serial drivers
+    # ------------------------------------------------------------------
+    def iter_shards(
+        self, config: "CampaignConfig", streams: Optional[RandomStreams] = None
+    ) -> Iterator[TimingShard]:
+        """Lazily yield the campaign's shards in serial order."""
+        streams = streams if streams is not None else RandomStreams(config.seed)
+        for spec in self.shard_specs(config):
+            yield self.run_shard(config, spec, streams)
+
+    def run(
+        self, config: "CampaignConfig", streams: Optional[RandomStreams] = None
+    ) -> TimingDataset:
+        """Run the whole campaign serially and merge into one dataset."""
+        return TimingDataset.merge(
+            self.iter_shards(config, streams), metadata=self.metadata(config)
+        )
+
+    # ------------------------------------------------------------------
+    def metadata(self, config: "CampaignConfig") -> Dict[str, object]:
+        """Campaign-level dataset metadata (same content for all backends)."""
+        app = build_application(config)
+        return {
+            "application": app.name,
+            "region": app.region,
+            "trials": config.trials,
+            "processes": config.processes,
+            "iterations": config.iterations,
+            "threads": config.threads,
+            "seed": config.seed,
+            "backend": config.backend,
+            "machine": config.machine.name,
+            "noise_enabled": config.machine.noise_spec.enabled,
+            **app.describe(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_BACKENDS: Dict[str, Type[CampaignBackend]] = {}
+
+
+def register_backend(name=None, *, replace: bool = False):
+    """Class decorator registering a :class:`CampaignBackend` by name.
+
+    Usable bare (``@register_backend`` — uses the class's ``name``) or with
+    an explicit name (``@register_backend("chunked")``).  Registering a name
+    twice raises unless ``replace=True`` (or the class is identical, which
+    makes module re-imports idempotent).
+    """
+
+    def decorator(cls: Type[CampaignBackend]) -> Type[CampaignBackend]:
+        if not (isinstance(cls, type) and issubclass(cls, CampaignBackend)):
+            raise TypeError("register_backend expects a CampaignBackend subclass")
+        key = (name if isinstance(name, str) else cls.name).strip().lower()
+        if not key or key == "abstract":
+            raise ValueError("backend needs a concrete registration name")
+        existing = _BACKENDS.get(key)
+        if existing is not None and existing is not cls and not replace:
+            raise ValueError(
+                f"backend {key!r} is already registered ({existing.__name__}); "
+                "pass replace=True to override"
+            )
+        cls.name = key
+        _BACKENDS[key] = cls
+        return cls
+
+    if isinstance(name, type):  # bare @register_backend
+        cls, name = name, None
+        return decorator(cls)
+    return decorator
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> CampaignBackend:
+    """Instantiate the backend registered under ``name``."""
+    key = str(name).strip().lower()
+    try:
+        cls = _BACKENDS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign backend {name!r}; registered backends: "
+            f"{', '.join(available_backends()) or '(none)'}"
+        ) from None
+    return cls()
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (primarily for tests)."""
+    _BACKENDS.pop(str(name).strip().lower(), None)
+
+
+# ----------------------------------------------------------------------
+# built-in backends
+# ----------------------------------------------------------------------
+@register_backend("vectorized")
+class VectorizedBackend(CampaignBackend):
+    """Closed-form sampling of the calibrated work/cost/noise models.
+
+    Shards at (trial, process) granularity: each shard re-derives that
+    process's ``work``/``noise`` streams by name and replays its iterations,
+    exactly as the serial nested loop would.
+    """
+
+    def shard_specs(self, config: "CampaignConfig") -> List[ShardSpec]:
+        return [
+            ShardSpec(trial=trial, process=process)
+            for trial in range(config.trials)
+            for process in range(config.processes)
+        ]
+
+    def run_shard(
+        self, config: "CampaignConfig", spec: ShardSpec, streams: RandomStreams
+    ) -> TimingShard:
+        if spec.process is None:
+            raise ValueError(f"{self.name} backend shards per process, got {spec}")
+        app = build_application(config)
+        trial, process = spec.trial, spec.process
+        work_rng = streams.get(app.name, "work", trial, process)
+        noise_rng = streams.get(app.name, "noise", trial, process)
+        noise = config.machine.build_noise_model(noise_rng)
+        app.begin_process(process, work_rng)
+        instrumenter = RegionInstrumenter(region=app.region, application=app.name)
+        for iteration in range(config.iterations):
+            times = app.thread_compute_times(
+                process=process,
+                iteration=iteration,
+                rng=work_rng,
+                noise=noise,
+            )
+            instrumenter.record_compute_times(
+                trial=trial,
+                process=process,
+                iteration=iteration,
+                compute_times_s=times,
+            )
+        return TimingShard.from_dataset(
+            instrumenter.dataset(), trial=trial, process=process
+        )
+
+
+@register_backend("chunked")
+class ChunkedBackend(VectorizedBackend):
+    """Streaming variant of the vectorized backend.
+
+    Identical per-shard math (so a merged chunked run is bit-identical to a
+    vectorized run), but meant to be consumed shard-by-shard through
+    :meth:`CampaignBackend.iter_shards` /
+    :meth:`~repro.experiments.session.CampaignSession.stream`, keeping at most
+    one (trial, process) chunk in memory at a time.
+    """
+
+    streaming = True
+
+
+@register_backend("event")
+class EventBackend(CampaignBackend):
+    """Discrete-event execution on the simulated OpenMP runtime.
+
+    Shards at trial granularity: the per-trial clock domain draws per-core
+    clocks lazily as processes touch their cores, so splitting a trial across
+    workers would change the draw order.  Within a shard the processes run in
+    serial order, which keeps results bit-identical to a fully serial run.
+    """
+
+    def shard_specs(self, config: "CampaignConfig") -> List[ShardSpec]:
+        return [ShardSpec(trial=trial) for trial in range(config.trials)]
+
+    def run_shard(
+        self, config: "CampaignConfig", spec: ShardSpec, streams: RandomStreams
+    ) -> TimingShard:
+        # imported here: the OpenMP runtime is only needed by this backend
+        from repro.openmp.runtime import OpenMPRuntime
+        from repro.openmp.team import ThreadTeam
+
+        app = build_application(config)
+        cluster = config.machine.build_cluster()
+        placements = cluster.place_processes(config.processes, config.threads)
+        instrumenter = RegionInstrumenter(region=app.region, application=app.name)
+        trial = spec.trial
+        clock_domain = config.machine.build_clock_domain(streams.get("clocks", trial))
+        for process in range(config.processes):
+            work_rng = streams.get(app.name, "work", trial, process)
+            noise_rng = streams.get(app.name, "noise", trial, process)
+            team_rng = streams.get(app.name, "team", trial, process)
+            noise = config.machine.build_noise_model(noise_rng)
+            app.begin_process(process, work_rng)
+            team = ThreadTeam(placements[process], clock_domain, noise, rng=team_rng)
+            runtime = OpenMPRuntime(team)
+            for iteration in range(config.iterations):
+                costs = app.item_costs(process, iteration, work_rng)
+                delays = app.application_delays(process, iteration, work_rng)
+                execution = runtime.run_region(
+                    costs,
+                    schedule=app.config.schedule,
+                    region=app.region,
+                    iteration=iteration,
+                    detailed=True,
+                )
+                # application-level delays act after the loop body (e.g. a
+                # straggler thread's extra stall) — add them to the recorded
+                # exit timestamps
+                for thread in execution.threads:
+                    extra_ns = int(round(delays[thread.thread_id] * 1e9))
+                    instrumenter.record_thread(
+                        trial=trial,
+                        process=process,
+                        iteration=iteration,
+                        thread=thread.thread_id,
+                        start_ns=thread.start_ns,
+                        end_ns=thread.end_ns + extra_ns,
+                    )
+        return TimingShard.from_dataset(
+            instrumenter.dataset(), trial=trial, process=None
+        )

@@ -1,161 +1,60 @@
-"""Run measurement campaigns.
+"""Deprecated module-level campaign entry points.
 
-A campaign reproduces the paper's §3.2 procedure for one application: for
-every trial and every process, run ``iterations`` instances of the
-instrumented compute region on a 48-thread team and record each thread's
-derived compute time.
+The campaign execution API lives in three places since the v2 redesign:
 
-Two execution backends produce the timings:
+* :mod:`repro.experiments.backends` — the pluggable backend registry
+  (``vectorized`` / ``event`` / ``chunked`` built-ins, ``register_backend``
+  for extensions).
+* :mod:`repro.experiments.executor` — parallel sharded execution.
+* :mod:`repro.experiments.session` — the :class:`CampaignSession` facade::
 
-* ``"vectorized"`` — the application's calibrated work/cost/noise models are
-  sampled directly (no event engine).  This is how full paper-scale campaigns
-  (768 000 samples per application) complete in seconds.
-* ``"event"`` — every thread is a process on the discrete-event engine, the
-  entry/exit barriers and every noise preemption happen as events, and the
-  timestamps come from the per-core monotonic clocks.  Slower; used by the
-  examples and by integration tests that check the two backends agree.
+      CampaignSession(config).run("minife").analyze().report()
+
+The functions below are thin deprecation shims kept so existing callers
+(examples, benchmarks, downstream scripts) continue to work; they delegate to
+a :class:`~repro.experiments.session.CampaignSession` and return the exact
+same datasets as before.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
-from repro.apps import APPLICATIONS, get_application
-from repro.apps.base import ApplicationConfig, ProxyApplication
-from repro.core.instrument import RegionInstrumenter
 from repro.core.timing import TimingDataset
 from repro.experiments.config import CampaignConfig
-from repro.openmp.runtime import OpenMPRuntime
-from repro.openmp.team import ThreadTeam
-from repro.sim.random import RandomStreams
+from repro.experiments.session import CampaignSession
 
 
-def _build_application(config: CampaignConfig) -> ProxyApplication:
-    """Instantiate the configured application with campaign-sized threading."""
-    app = get_application(config.application)
-    app.config.n_threads = config.threads
-    app.config.n_iterations = config.iterations
-    return app
-
-
-def _instrumenter(app: ProxyApplication, config: CampaignConfig) -> RegionInstrumenter:
-    return RegionInstrumenter(
-        region=app.region,
-        application=app.name,
-        metadata={
-            "trials": config.trials,
-            "processes": config.processes,
-            "iterations": config.iterations,
-            "threads": config.threads,
-            "seed": config.seed,
-            "backend": config.backend,
-            "machine": config.machine.name,
-            "noise_enabled": config.machine.noise_spec.enabled,
-            **app.describe(),
-        },
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.experiments.campaign.{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
-# ----------------------------------------------------------------------
-# vectorised backend
-# ----------------------------------------------------------------------
-def _run_vectorized(
-    app: ProxyApplication, config: CampaignConfig, streams: RandomStreams
-) -> TimingDataset:
-    instrumenter = _instrumenter(app, config)
-    for trial in range(config.trials):
-        for process in range(config.processes):
-            work_rng = streams.get(app.name, "work", trial, process)
-            noise_rng = streams.get(app.name, "noise", trial, process)
-            noise = config.machine.build_noise_model(noise_rng)
-            app.begin_process(process, work_rng)
-            for iteration in range(config.iterations):
-                times = app.thread_compute_times(
-                    process=process,
-                    iteration=iteration,
-                    rng=work_rng,
-                    noise=noise,
-                )
-                instrumenter.record_compute_times(
-                    trial=trial,
-                    process=process,
-                    iteration=iteration,
-                    compute_times_s=times,
-                )
-    return instrumenter.dataset()
-
-
-# ----------------------------------------------------------------------
-# event-driven backend
-# ----------------------------------------------------------------------
-def _run_event(
-    app: ProxyApplication, config: CampaignConfig, streams: RandomStreams
-) -> TimingDataset:
-    cluster = config.machine.build_cluster()
-    placements = cluster.place_processes(config.processes, config.threads)
-    instrumenter = _instrumenter(app, config)
-    for trial in range(config.trials):
-        clock_domain = config.machine.build_clock_domain(
-            streams.get("clocks", trial)
-        )
-        for process in range(config.processes):
-            work_rng = streams.get(app.name, "work", trial, process)
-            noise_rng = streams.get(app.name, "noise", trial, process)
-            team_rng = streams.get(app.name, "team", trial, process)
-            noise = config.machine.build_noise_model(noise_rng)
-            app.begin_process(process, work_rng)
-            team = ThreadTeam(
-                placements[process], clock_domain, noise, rng=team_rng
-            )
-            runtime = OpenMPRuntime(team)
-            for iteration in range(config.iterations):
-                costs = app.item_costs(process, iteration, work_rng)
-                delays = app.application_delays(process, iteration, work_rng)
-                execution = runtime.run_region(
-                    costs,
-                    schedule=app.config.schedule,
-                    region=app.region,
-                    iteration=iteration,
-                    detailed=True,
-                )
-                # application-level delays act after the loop body (e.g. a
-                # straggler thread's extra stall) — add them to the recorded
-                # exit timestamps
-                for thread in execution.threads:
-                    extra_ns = int(round(delays[thread.thread_id] * 1e9))
-                    instrumenter.record_thread(
-                        trial=trial,
-                        process=process,
-                        iteration=iteration,
-                        thread=thread.thread_id,
-                        start_ns=thread.start_ns,
-                        end_ns=thread.end_ns + extra_ns,
-                    )
-    return instrumenter.dataset()
-
-
-# ----------------------------------------------------------------------
-# public entry points
-# ----------------------------------------------------------------------
 def run_campaign(config: CampaignConfig) -> TimingDataset:
-    """Run one application's campaign and return its timing dataset."""
-    app = _build_application(config)
-    streams = RandomStreams(config.seed)
-    if config.backend == "vectorized":
-        return _run_vectorized(app, config, streams)
-    return _run_event(app, config, streams)
+    """Run one application's campaign and return its timing dataset.
+
+    .. deprecated::
+        Use ``CampaignSession(config).run().dataset`` instead.
+    """
+    _deprecated("run_campaign", "CampaignSession(config).run().dataset")
+    return CampaignSession(config).run().dataset
 
 
 def run_all_campaigns(
     config: CampaignConfig, applications: Optional[Sequence[str]] = None
 ) -> Dict[str, TimingDataset]:
-    """Run the campaign for several applications (all three by default)."""
-    names = list(applications) if applications is not None else sorted(APPLICATIONS)
-    return {
-        name: run_campaign(config.for_application(name)) for name in names
-    }
+    """Run the campaign for several applications (all three by default).
+
+    .. deprecated::
+        Use ``CampaignSession(config).run_all()`` instead.
+    """
+    _deprecated("run_all_campaigns", "CampaignSession(config).run_all()")
+    results = CampaignSession(config).run_all(applications)
+    return {name: result.dataset for name, result in results.items()}
 
 
 def quick_campaign(
@@ -168,7 +67,13 @@ def quick_campaign(
     seed: int = 7,
     backend: str = "vectorized",
 ) -> TimingDataset:
-    """Small campaign with sensible defaults (examples, docs, tests)."""
+    """Small campaign with sensible defaults (examples, docs, tests).
+
+    .. deprecated::
+        Build a :class:`~repro.experiments.config.CampaignConfig` and use
+        ``CampaignSession(config).run().dataset`` instead.
+    """
+    _deprecated("quick_campaign", "CampaignSession(config).run().dataset")
     config = CampaignConfig(
         application=application,
         trials=trials,
@@ -178,4 +83,4 @@ def quick_campaign(
         seed=seed,
         backend=backend,
     )
-    return run_campaign(config)
+    return CampaignSession(config).run().dataset

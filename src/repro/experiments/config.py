@@ -26,14 +26,26 @@ class CampaignConfig:
     threads: int = 48
     seed: int = 20230421  # arXiv submission date of the paper
     machine: MachineConfig = field(default_factory=manzano)
-    #: ``"vectorized"`` (closed-form, fast) or ``"event"`` (discrete-event)
+    #: execution backend name, resolved against the backend registry
+    #: (:func:`repro.experiments.backends.available_backends`); the built-ins
+    #: are ``"vectorized"``, ``"event"`` and ``"chunked"``
     backend: str = "vectorized"
+    #: worker-pool size for parallel sharded execution (1 = serial); results
+    #: are bit-identical at any worker count
+    max_workers: int = 1
 
     def __post_init__(self) -> None:
         if min(self.trials, self.processes, self.iterations, self.threads) < 1:
             raise ValueError("trials, processes, iterations and threads must be >= 1")
-        if self.backend not in ("vectorized", "event"):
-            raise ValueError("backend must be 'vectorized' or 'event'")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        # imported lazily: backends depends on the apps/core stack, which in
+        # turn constructs configs — the registry is only needed at validation
+        from repro.experiments.backends import get_backend
+
+        # get_backend normalises (case/whitespace) and raises a ValueError
+        # listing the registered names for unknown backends
+        self.backend = get_backend(self.backend).name
         needed_nodes = -(-self.processes * self.threads // self.machine.cores_per_node)
         if self.machine.n_nodes < needed_nodes:
             self.machine = replace(self.machine, n_nodes=needed_nodes)
@@ -52,6 +64,14 @@ class CampaignConfig:
     def for_application(self, application: str) -> "CampaignConfig":
         """Copy of this configuration targeting another application."""
         return replace(self, application=application)
+
+    def parallel(self, max_workers: int) -> "CampaignConfig":
+        """Copy of this configuration with a parallel worker-pool size."""
+        return replace(self, max_workers=max_workers)
+
+    def with_backend(self, backend: str) -> "CampaignConfig":
+        """Copy of this configuration on another registered backend."""
+        return replace(self, backend=backend)
 
     def scaled(self, *, trials: Optional[int] = None, processes: Optional[int] = None,
                iterations: Optional[int] = None, threads: Optional[int] = None) -> "CampaignConfig":

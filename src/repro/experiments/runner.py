@@ -13,13 +13,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.analyzer import ThreadTimingAnalyzer
 from repro.core.timing import TimingDataset
-from repro.experiments.campaign import run_campaign
+from repro.experiments.backends import available_backends
 from repro.experiments.config import CampaignConfig
+from repro.experiments.session import CampaignSession
 from repro.experiments.figures import (
     figure3_histogram,
     figure5_minife_classes,
@@ -42,6 +44,13 @@ SCALES = {
     "benchmark": CampaignConfig.benchmark_scale,
     "paper": CampaignConfig.paper_scale,
 }
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,9 +79,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=None, help="override the campaign seed")
     parser.add_argument(
         "--backend",
-        choices=["vectorized", "event"],
+        choices=sorted(available_backends()),
         default="vectorized",
-        help="execution backend (default: vectorized)",
+        help="execution backend from the registry (default: vectorized)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=_positive_int,
+        default=1,
+        help="parallel shard workers (default: 1 = serial; results are "
+        "bit-identical at any worker count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache campaign datasets here, keyed by a config hash",
     )
     parser.add_argument(
         "--no-noise", action="store_true", help="disable the OS-noise model (ablation)"
@@ -94,9 +116,14 @@ def _configure(args: argparse.Namespace, application: str) -> CampaignConfig:
         iterations=args.iterations,
         threads=args.threads,
     )
-    if args.seed is not None:
-        config.seed = args.seed
-    config.backend = args.backend
+    # replace() (rather than attribute assignment) re-runs __post_init__, so
+    # CLI overrides go through the same validation as constructed configs
+    config = replace(
+        config,
+        seed=args.seed if args.seed is not None else config.seed,
+        backend=args.backend,
+        max_workers=args.max_workers,
+    )
     if args.no_noise:
         config.machine = config.machine.without_noise()
     return config
@@ -142,16 +169,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for application in args.apps:
         config = _configure(args, application)
         started = time.perf_counter()
+        workers = f", {config.max_workers} workers" if config.max_workers > 1 else ""
         print(
             f"[repro-campaign] running {application}: {config.trials} trials x "
             f"{config.processes} processes x {config.iterations} iterations x "
-            f"{config.threads} threads ({config.backend} backend)",
+            f"{config.threads} threads ({config.backend} backend{workers})",
             flush=True,
         )
-        dataset = run_campaign(config)
+        session = CampaignSession(config, cache_dir=args.cache_dir)
+        result = session.run()
+        dataset = result.dataset
         elapsed = time.perf_counter() - started
+        origin = " (cached)" if result.from_cache else ""
         print(
-            f"[repro-campaign]   {dataset.n_samples} samples in {elapsed:.1f} s",
+            f"[repro-campaign]   {dataset.n_samples} samples in {elapsed:.1f} s{origin}",
             flush=True,
         )
         datasets[application] = dataset

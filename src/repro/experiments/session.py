@@ -1,0 +1,293 @@
+"""The streaming campaign session facade.
+
+:class:`CampaignSession` is the front door of the campaign layer.  One
+session wraps one :class:`~repro.experiments.config.CampaignConfig` and
+unifies what used to be three module-level functions behind a fluent API::
+
+    >>> from repro.experiments import CampaignConfig, CampaignSession
+    >>> session = CampaignSession(CampaignConfig.smoke())
+    >>> report = session.run("minife").analyze().report()
+
+Behind ``run()`` the session resolves the configured backend from the
+registry (:mod:`repro.experiments.backends`), fans the backend's shards out
+across the parallel executor (:mod:`repro.experiments.executor`) when
+``config.max_workers > 1``, and hands back a :class:`CampaignResult` that
+keeps the shards and merges them into a dense
+:class:`~repro.core.timing.TimingDataset` only on demand.  ``stream()``
+exposes the same execution as a lazy shard iterator for memory-bounded
+consumers.
+
+With a ``cache_dir``, results are cached on disk through
+:mod:`repro.io.dataset_io`, keyed by a stable hash of everything that
+determines the samples (:func:`config_cache_key`) — re-running an identical
+configuration loads the ``.npz`` instead of recomputing 768 000 samples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.core.analyzer import ThreadTimingAnalyzer
+from repro.core.timing import TimingDataset, TimingShard
+from repro.experiments.backends import CampaignBackend, get_backend
+from repro.experiments.executor import ShardExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.core.report import FeasibilityReport
+    from repro.experiments.config import CampaignConfig
+
+
+def config_cache_key(config: "CampaignConfig") -> str:
+    """Stable hash of everything that determines a campaign's samples.
+
+    Includes the full machine description (clock and noise populations);
+    excludes execution knobs that cannot change the data, such as
+    ``max_workers`` — a parallel run hits the cache entry of a serial one.
+    """
+    payload = {
+        "application": config.application,
+        "trials": config.trials,
+        "processes": config.processes,
+        "iterations": config.iterations,
+        "threads": config.threads,
+        "seed": config.seed,
+        "backend": config.backend,
+        "machine": dataclasses.asdict(config.machine),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class CampaignResult:
+    """Outcome of one application's campaign, merged on demand.
+
+    Holds either the shards the executor produced (fresh run) or an
+    already-merged dataset (cache hit).  Iterating yields the shards;
+    :attr:`dataset` merges them — once — into the dense
+    :class:`~repro.core.timing.TimingDataset` every analysis consumes.
+    """
+
+    def __init__(
+        self,
+        config: "CampaignConfig",
+        *,
+        shards: Optional[Sequence[TimingShard]] = None,
+        dataset: Optional[TimingDataset] = None,
+        metadata: Optional[Dict[str, object]] = None,
+        from_cache: bool = False,
+    ) -> None:
+        if shards is None and dataset is None:
+            raise ValueError("a result needs shards or an already-merged dataset")
+        self.config = config
+        self.from_cache = from_cache
+        self._shards: Optional[Tuple[TimingShard, ...]] = (
+            tuple(shards) if shards is not None else None
+        )
+        self._metadata = metadata
+        self._dataset = dataset
+        self._analyzer: Optional[ThreadTimingAnalyzer] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def application(self) -> str:
+        return self.config.application
+
+    @property
+    def shards(self) -> Tuple[TimingShard, ...]:
+        """The campaign's shards (derived from the dataset on cache hits)."""
+        if self._shards is None:
+            dataset = self.dataset
+            self._shards = tuple(
+                TimingShard.from_dataset(
+                    dataset.select(trial=int(trial)), trial=int(trial), process=None
+                )
+                for trial in dataset.trials
+            )
+        return self._shards
+
+    def __iter__(self) -> Iterator[TimingShard]:
+        return iter(self.shards)
+
+    @property
+    def dataset(self) -> TimingDataset:
+        """The dense timing dataset (shards merged on first access)."""
+        if self._dataset is None:
+            self._dataset = TimingDataset.merge(self._shards, metadata=self._metadata)
+        return self._dataset
+
+    @property
+    def n_samples(self) -> int:
+        return self.dataset.n_samples
+
+    # ------------------------------------------------------------------
+    def analyze(self, **kwargs) -> ThreadTimingAnalyzer:
+        """The §4 analysis driver for this campaign's dataset (cached)."""
+        if self._analyzer is None or kwargs:
+            analyzer = ThreadTimingAnalyzer(self.dataset, **kwargs)
+            if kwargs:
+                return analyzer
+            self._analyzer = analyzer
+        return self._analyzer
+
+    def report(self, include_earlybird: bool = True) -> "FeasibilityReport":
+        """Shortcut for ``analyze().report()``."""
+        return self.analyze().report(include_earlybird=include_earlybird)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the merged dataset as ``.npz`` (see :mod:`repro.io`)."""
+        from repro.io.dataset_io import save_dataset
+
+        return save_dataset(self.dataset, path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        origin = "cache" if self.from_cache else "run"
+        return f"CampaignResult({self.application!r}, from={origin})"
+
+
+class CampaignSession:
+    """Fluent, cache-aware driver of one or more measurement campaigns.
+
+    Parameters
+    ----------
+    config:
+        Base campaign configuration.  ``run("minimd")`` retargets it with
+        :meth:`~repro.experiments.config.CampaignConfig.for_application`.
+    cache_dir:
+        Directory for config-hash-keyed ``.npz`` result caching; ``None``
+        (default) disables caching.
+    executor_mode:
+        Worker-pool flavour for ``max_workers > 1``: ``"process"`` (default)
+        or ``"thread"``.
+    """
+
+    def __init__(
+        self,
+        config: "CampaignConfig",
+        *,
+        cache_dir: Optional[Union[str, Path]] = None,
+        executor_mode: str = "process",
+    ) -> None:
+        self.config = config
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.executor_mode = executor_mode
+        self._results: Dict[str, CampaignResult] = {}
+
+    # ------------------------------------------------------------------
+    # configuration plumbing
+    # ------------------------------------------------------------------
+    def config_for(self, application: Optional[str] = None) -> "CampaignConfig":
+        """The session config, retargeted at ``application`` if given."""
+        if application is None or application == self.config.application:
+            return self.config
+        return self.config.for_application(application)
+
+    def backend_for(self, application: Optional[str] = None) -> CampaignBackend:
+        return get_backend(self.config_for(application).backend)
+
+    def cache_key(self, application: Optional[str] = None) -> str:
+        return config_cache_key(self.config_for(application))
+
+    def _cache_path(self, config: "CampaignConfig") -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return (
+            self.cache_dir
+            / f"campaign_{config.application}_{config_cache_key(config)}.npz"
+        )
+
+    def _executor(self) -> ShardExecutor:
+        return ShardExecutor(mode=self.executor_mode)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self, application: Optional[str] = None, *, use_cache: bool = True
+    ) -> CampaignResult:
+        """Run (or load from cache) one application's campaign."""
+        config = self.config_for(application)
+        backend = get_backend(config.backend)
+        cache_path = self._cache_path(config)
+        if cache_path is not None and use_cache and cache_path.exists():
+            from repro.io.dataset_io import load_dataset
+
+            result = CampaignResult(
+                config, dataset=load_dataset(cache_path), from_cache=True
+            )
+        else:
+            shards = self._executor().run(backend, config)
+            result = CampaignResult(
+                config, shards=shards, metadata=backend.metadata(config)
+            )
+            if cache_path is not None:
+                result.save(cache_path)
+        self._results[config.application] = result
+        return result
+
+    def stream(self, application: Optional[str] = None) -> Iterator[TimingShard]:
+        """Lazily yield the campaign's shards in serial (trial-major) order.
+
+        Streams straight from the executor without retaining earlier shards,
+        so paper-scale campaigns can be consumed with one (trial, process)
+        chunk resident at a time.  Bypasses the result cache.
+        """
+        config = self.config_for(application)
+        backend = get_backend(config.backend)
+        yield from self._executor().iter_shards(backend, config)
+
+    def run_all(
+        self,
+        applications: Optional[Sequence[str]] = None,
+        *,
+        use_cache: bool = True,
+    ) -> Dict[str, CampaignResult]:
+        """Run the campaign for several applications (all three by default)."""
+        if applications is None:
+            from repro.apps import APPLICATIONS
+
+            applications = sorted(APPLICATIONS)
+        return {
+            name: self.run(name, use_cache=use_cache) for name in applications
+        }
+
+    # ------------------------------------------------------------------
+    # completed results
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> Dict[str, CampaignResult]:
+        """Results completed by this session, keyed by application."""
+        return dict(self._results)
+
+    def __getitem__(self, application: str) -> CampaignResult:
+        return self._results[application]
+
+    def __contains__(self, application: str) -> bool:
+        return application in self._results
+
+    def dataset(self, application: Optional[str] = None) -> TimingDataset:
+        """Dense dataset for ``application`` (running the campaign if needed)."""
+        config = self.config_for(application)
+        result = self._results.get(config.application)
+        if result is None:
+            result = self.run(application)
+        return result.dataset
+
+    def analyze(self, application: Optional[str] = None) -> ThreadTimingAnalyzer:
+        """Analyzer for ``application`` (running the campaign if needed)."""
+        config = self.config_for(application)
+        result = self._results.get(config.application)
+        if result is None:
+            result = self.run(application)
+        return result.analyze()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CampaignSession({self.config.application!r}, "
+            f"backend={self.config.backend!r}, "
+            f"max_workers={getattr(self.config, 'max_workers', 1)}, "
+            f"results={sorted(self._results)})"
+        )

@@ -1,15 +1,19 @@
-"""Dataset persistence (NumPy ``.npz`` + JSON metadata, CSV export)."""
+"""Dataset and shard persistence (NumPy ``.npz`` + JSON metadata, CSV export)."""
 
 from repro.io.dataset_io import (
     dataset_to_csv,
     load_dataset,
+    load_shards,
     save_dataset,
+    save_shards,
 )
 from repro.io.schema import DATASET_FORMAT_VERSION, validate_columns
 
 __all__ = [
     "save_dataset",
     "load_dataset",
+    "save_shards",
+    "load_shards",
     "dataset_to_csv",
     "DATASET_FORMAT_VERSION",
     "validate_columns",

@@ -1,19 +1,23 @@
-"""Save / load / export timing datasets.
+"""Save / load / export timing datasets and campaign shards.
 
 Datasets are stored as a single compressed ``.npz`` holding the columns plus
 a JSON-encoded metadata string, so a full paper-scale campaign (768 000 rows
-per application) stays a few megabytes and round-trips exactly.
+per application) stays a few megabytes and round-trips exactly.  Campaign
+shards (:class:`~repro.core.timing.TimingShard`, the unit of the sharded
+execution backends) round-trip through the same container with per-shard
+prefixed columns and a shard index, via :func:`save_shards` /
+:func:`load_shards`.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
-from repro.core.timing import TimingDataset
+from repro.core.timing import TimingDataset, TimingShard
 from repro.io.schema import DATASET_FORMAT_VERSION, OPTIONAL_COLUMNS, REQUIRED_COLUMNS, validate_columns
 
 PathLike = Union[str, Path]
@@ -57,6 +61,69 @@ def load_dataset(path: PathLike) -> TimingDataset:
             metadata = decoded.get("metadata", {})
     validate_columns(columns)
     return TimingDataset(columns, metadata)
+
+
+def save_shards(shards: Sequence[TimingShard], path: PathLike) -> Path:
+    """Write campaign shards to one ``.npz`` (``.npz`` appended if absent).
+
+    Each shard's columns are stored under a ``shard<i>__`` prefix; a JSON
+    shard index records every shard's (trial, process) address so
+    :func:`load_shards` restores them exactly.
+    """
+    shards = list(shards)
+    if not shards:
+        raise ValueError("cannot save zero shards")
+    target = Path(path)
+    if target.suffix != ".npz":
+        target = target.with_suffix(".npz")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {}
+    index = []
+    for i, shard in enumerate(shards):
+        validate_columns(dict(shard.columns))
+        for name, values in shard.columns.items():
+            payload[f"shard{i}__{name}"] = np.asarray(values)
+        index.append(
+            {
+                "trial": int(shard.trial),
+                "process": None if shard.process is None else int(shard.process),
+                "columns": sorted(shard.columns),
+            }
+        )
+    payload["__shards__"] = np.array(
+        json.dumps({"format_version": DATASET_FORMAT_VERSION, "shards": index})
+    )
+    np.savez_compressed(target, **payload)
+    return target
+
+
+def load_shards(path: PathLike) -> List[TimingShard]:
+    """Load campaign shards previously written by :func:`save_shards`."""
+    source = Path(path)
+    if not source.exists():
+        raise FileNotFoundError(source)
+    with np.load(source, allow_pickle=False) as archive:
+        if "__shards__" not in archive.files:
+            raise ValueError(f"{source} is not a shard archive (no shard index)")
+        decoded = json.loads(str(archive["__shards__"]))
+        version = decoded.get("format_version")
+        if version != DATASET_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported shard format version {version!r} "
+                f"(expected {DATASET_FORMAT_VERSION})"
+            )
+        shards = []
+        for i, entry in enumerate(decoded["shards"]):
+            columns = {name: archive[f"shard{i}__{name}"] for name in entry["columns"]}
+            validate_columns(columns)
+            shards.append(
+                TimingShard(
+                    trial=int(entry["trial"]),
+                    process=None if entry["process"] is None else int(entry["process"]),
+                    columns=columns,
+                )
+            )
+    return shards
 
 
 def dataset_to_csv(dataset: TimingDataset, path: PathLike, *, unit: str = "ms") -> Path:

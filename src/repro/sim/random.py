@@ -40,21 +40,29 @@ class RandomStreams:
     True
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *, _path: Tuple[int, ...] = ()) -> None:
         if not isinstance(seed, (int, np.integer)):
             raise TypeError(f"seed must be an integer, got {type(seed).__name__}")
         self.seed = int(seed)
-        self._root = np.random.SeedSequence(self.seed)
+        self._path: Tuple[int, ...] = tuple(int(part) for part in _path)
+        self._root = np.random.SeedSequence(self.seed, spawn_key=self._path)
         self._cache: Dict[Tuple, np.random.Generator] = {}
+
+    @property
+    def path(self) -> Tuple[int, ...]:
+        """Derivation path of this namespace (empty for a root instance)."""
+        return self._path
+
+    def _sequence(self, key: Tuple) -> np.random.SeedSequence:
+        return np.random.SeedSequence(
+            entropy=self.seed, spawn_key=self._path + (_key_to_int(key),)
+        )
 
     def get(self, *key) -> np.random.Generator:
         """Return (and cache) the generator for ``key``."""
         key = tuple(key)
         if key not in self._cache:
-            child = np.random.SeedSequence(
-                entropy=self.seed, spawn_key=(_key_to_int(key),)
-            )
-            self._cache[key] = np.random.default_rng(child)
+            self._cache[key] = np.random.default_rng(self._sequence(key))
         return self._cache[key]
 
     def fresh(self, *key) -> np.random.Generator:
@@ -62,12 +70,33 @@ class RandomStreams:
 
         Useful when a component needs to replay an identical draw sequence.
         """
+        return np.random.default_rng(self._sequence(tuple(key)))
+
+    def derive(self, *key) -> "RandomStreams":
+        """Derive a *named* child namespace along the SeedSequence spawn path.
+
+        Unlike :meth:`spawn` (which folds the key into a new root seed by
+        XOR), derivation extends the ``spawn_key`` path, so
+
+        * the child's streams are statistically independent of every stream of
+          the parent (and of children derived under other names),
+        * ``streams.derive("a").derive("b")`` and ``streams.derive("b")`` can
+          never collide, and
+        * re-deriving the same name anywhere (e.g. inside a worker process)
+          reproduces the exact same streams — the property the parallel shard
+          executor relies on for bit-identical campaign results.
+        """
         key = tuple(key)
-        child = np.random.SeedSequence(entropy=self.seed, spawn_key=(_key_to_int(key),))
-        return np.random.default_rng(child)
+        if not key:
+            raise ValueError("derive() requires at least one name component")
+        return RandomStreams(self.seed, _path=self._path + (_key_to_int(key),))
 
     def spawn(self, *key) -> "RandomStreams":
-        """Derive a child :class:`RandomStreams` namespace for a sub-component."""
+        """Derive a child :class:`RandomStreams` namespace for a sub-component.
+
+        Legacy seed-folding derivation; prefer :meth:`derive`, whose children
+        are collision-free by construction.
+        """
         return RandomStreams(self.seed ^ _key_to_int(tuple(key)) ^ 0x9E3779B9)
 
     def keys(self) -> Iterable[Tuple]:

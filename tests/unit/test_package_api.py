@@ -53,15 +53,24 @@ class TestTopLevelApi:
 
     def test_readme_quickstart_snippet_runs(self):
         """The README's code block must stay executable."""
-        from repro import quick_campaign
-        from repro.core import ThreadTimingAnalyzer, compare_strategies
+        from repro import CampaignConfig, CampaignSession
+        from repro.core import compare_strategies
 
-        dataset = quick_campaign(
-            "minife", trials=1, processes=1, iterations=10, threads=16
-        )
-        analyzer = ThreadTimingAnalyzer(dataset)
-        summary = analyzer.report(include_earlybird=False).summary()
-        assert "minife" in summary
+        session = CampaignSession(CampaignConfig.smoke())
+        report = session.run("minife").analyze().report()
+        assert "minife" in report.summary()
+        analyzer = session.analyze("minife")
         arrivals = analyzer.grouped("process_iteration").values[0]
         comparison = compare_strategies(arrivals, buffer_bytes=8 << 20)
         assert comparison.speedup_over_bulk()["bulk"] == pytest.approx(1.0)
+
+    def test_new_campaign_api_lazy_exports(self):
+        assert repro.CampaignSession is importlib.import_module(
+            "repro.experiments.session"
+        ).CampaignSession
+        assert repro.register_backend is importlib.import_module(
+            "repro.experiments.backends"
+        ).register_backend
+        assert repro.TimingShard is importlib.import_module(
+            "repro.core.timing"
+        ).TimingShard

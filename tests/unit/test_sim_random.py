@@ -50,3 +50,43 @@ class TestRandomStreams:
         streams.get("one")
         streams.get("two", 2)
         assert set(streams.keys()) == {("one",), ("two", 2)}
+
+
+class TestNamedDerivation:
+    def test_derive_is_reproducible_across_instances(self):
+        first = RandomStreams(11).derive("shard", 0).get("work").uniform(size=8)
+        second = RandomStreams(11).derive("shard", 0).get("work").uniform(size=8)
+        np.testing.assert_array_equal(first, second)
+
+    def test_derive_does_not_perturb_parent_streams(self):
+        expected = RandomStreams(11).get("work").uniform(size=8)
+        streams = RandomStreams(11)
+        streams.derive("shard", 0).get("work")  # derivation must be side-effect free
+        np.testing.assert_array_equal(streams.get("work").uniform(size=8), expected)
+
+    def test_derived_names_are_independent(self):
+        streams = RandomStreams(11)
+        a = streams.derive("shard", 0).get("work").uniform(size=8)
+        b = streams.derive("shard", 1).get("work").uniform(size=8)
+        c = streams.get("work").uniform(size=8)
+        assert not np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_nested_derivation_extends_the_path(self):
+        streams = RandomStreams(11)
+        child = streams.derive("outer")
+        grandchild = child.derive("inner")
+        assert streams.path == ()
+        assert len(child.path) == 1
+        assert len(grandchild.path) == 2
+        assert grandchild.path[:1] == child.path
+        a = child.get("x").uniform(size=8)
+        b = grandchild.get("x").uniform(size=8)
+        assert not np.allclose(a, b)
+
+    def test_derive_requires_a_name(self):
+        with pytest.raises(ValueError):
+            RandomStreams(11).derive()
+
+    def test_derive_preserves_seed(self):
+        assert RandomStreams(42).derive("sub").seed == 42
