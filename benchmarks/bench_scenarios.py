@@ -1,0 +1,58 @@
+"""Scenario-subsystem throughput: noise sources and scenario campaigns.
+
+Two groups:
+
+* ``noise-sources`` — the vectorised ``batch_extra`` path of every
+  registered noise source over a paper-scale batch (768 000 windows).  This
+  is the per-sample cost a scenario pays for richer noise; the seed pair
+  (periodic daemon + Poisson) is the baseline the new populations are
+  compared against.
+* ``scenario-campaign`` — a benchmark-scale MiniFE campaign through the
+  scenario layer for the seed platform and the hostile cloud VM, asserting
+  first that the scenario path is bit-identical to the plain config path for
+  the default scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import CampaignConfig
+from repro.experiments.session import CampaignSession
+from repro.scenarios import available_noise_sources, get_scenario, make_noise_source
+
+PAPER_SAMPLES = 768_000
+
+
+@pytest.mark.benchmark(group="noise-sources")
+@pytest.mark.parametrize("kind", sorted(set(available_noise_sources()) - {"silent"}))
+def test_noise_source_batch_throughput(benchmark, kind):
+    source = make_noise_source(kind)
+    work = np.full(PAPER_SAMPLES, 0.025)
+
+    def run():
+        return source.batch_extra(work, np.random.default_rng(11))
+
+    extra = benchmark(run)
+    assert extra.shape == work.shape
+    assert np.all(extra >= 0.0) and np.all(np.isfinite(extra))
+
+
+def _scenario_dataset(name: str):
+    config = get_scenario(name).campaign_config("benchmark")
+    return CampaignSession(config).run().dataset
+
+
+@pytest.mark.benchmark(group="scenario-campaign")
+def test_scenario_campaign_manzano_default(benchmark):
+    plain = CampaignSession(CampaignConfig.benchmark_scale("minife")).run().dataset
+    dataset = benchmark(_scenario_dataset, "manzano-default")
+    np.testing.assert_array_equal(dataset.compute_times_s, plain.compute_times_s)
+
+
+@pytest.mark.benchmark(group="scenario-campaign")
+def test_scenario_campaign_cloudvm(benchmark):
+    dataset = benchmark(_scenario_dataset, "cloudvm-default")
+    assert dataset.metadata["machine"] == "cloudvm"
+    assert np.all(np.isfinite(dataset.compute_times_s))

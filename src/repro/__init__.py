@@ -29,6 +29,11 @@ contribution (thread-timing instrumentation and analysis) on top:
     The campaign execution API — a registry of pluggable execution backends,
     a parallel sharded executor and the :class:`CampaignSession` facade —
     plus per-table/per-figure generators for the paper's evaluation section.
+``repro.scenarios``
+    Registries for machines (``@register_machine``), OS-noise sources
+    (``@register_noise_source``) and declarative :class:`Scenario` recipes
+    (machine × noise × application × schedule), with
+    :class:`ScenarioMatrix` expansion for sweeps.
 
 Quickstart
 ----------
@@ -45,6 +50,13 @@ shards out across a worker pool with bit-identical results;
 dataset; ``repro.experiments.register_backend`` plugs in new execution
 strategies alongside the built-in ``vectorized``, ``event`` and ``chunked``
 backends.
+
+Scenarios name full experimental settings and feed the same session::
+
+>>> from repro import get_scenario
+>>> result = get_scenario("manzano-quiet").session(scale="smoke").run()
+>>> result.dataset.metadata["noise_enabled"]
+False
 """
 
 from __future__ import annotations
@@ -64,6 +76,18 @@ __all__ = [
     "register_backend",
     "quick_campaign",
     "run_campaign",
+    "Scenario",
+    "ScenarioMatrix",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "register_machine",
+    "get_machine",
+    "available_machines",
+    "register_noise_source",
+    "make_noise_source",
+    "available_noise_sources",
+    "noise_profile",
 ]
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
@@ -73,6 +97,24 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.experiments.campaign import quick_campaign, run_campaign
     from repro.experiments.config import CampaignConfig
     from repro.experiments.session import CampaignSession
+    from repro.scenarios.machines import (
+        available_machines,
+        get_machine,
+        register_machine,
+    )
+    from repro.scenarios.scenario import (
+        Scenario,
+        ScenarioMatrix,
+        available_scenarios,
+        get_scenario,
+        register_scenario,
+    )
+    from repro.scenarios.sources import (
+        available_noise_sources,
+        make_noise_source,
+        noise_profile,
+        register_noise_source,
+    )
 
 _LAZY_EXPORTS = {
     "TimingDataset": ("repro.core.timing", "TimingDataset"),
@@ -84,6 +126,18 @@ _LAZY_EXPORTS = {
     "register_backend": ("repro.experiments.backends", "register_backend"),
     "quick_campaign": ("repro.experiments.campaign", "quick_campaign"),
     "run_campaign": ("repro.experiments.campaign", "run_campaign"),
+    "Scenario": ("repro.scenarios.scenario", "Scenario"),
+    "ScenarioMatrix": ("repro.scenarios.scenario", "ScenarioMatrix"),
+    "register_scenario": ("repro.scenarios.scenario", "register_scenario"),
+    "get_scenario": ("repro.scenarios.scenario", "get_scenario"),
+    "available_scenarios": ("repro.scenarios.scenario", "available_scenarios"),
+    "register_machine": ("repro.scenarios.machines", "register_machine"),
+    "get_machine": ("repro.scenarios.machines", "get_machine"),
+    "available_machines": ("repro.scenarios.machines", "available_machines"),
+    "register_noise_source": ("repro.scenarios.sources", "register_noise_source"),
+    "make_noise_source": ("repro.scenarios.sources", "make_noise_source"),
+    "available_noise_sources": ("repro.scenarios.sources", "available_noise_sources"),
+    "noise_profile": ("repro.scenarios.sources", "noise_profile"),
 }
 
 

@@ -1,0 +1,13 @@
+"""``python -m repro`` — entry point aliasing the ``repro-campaign`` CLI.
+
+Keeps the campaign runner reachable without installing console scripts
+(``PYTHONPATH=src python -m repro --list-scenarios``), which is how the CI
+scenario-matrix job drives it.
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ models the parts of that platform that shape per-thread timing measurements:
 
 from repro.cluster.clock import ClockSpec, MonotonicClock
 from repro.cluster.config import MachineConfig, laptop, manzano
-from repro.cluster.noise import NoiseEvent, NoiseSpec, OSNoiseModel
+from repro.cluster.noise import NoiseEvent, NoiseSourceSpec, NoiseSpec, OSNoiseModel
 from repro.cluster.topology import Cluster, Core, Node, Socket
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "ClockSpec",
     "OSNoiseModel",
     "NoiseSpec",
+    "NoiseSourceSpec",
     "NoiseEvent",
     "MachineConfig",
     "manzano",

@@ -3,6 +3,11 @@
 A :class:`MachineConfig` bundles the cluster layout, the clock population and
 the OS-noise population into a single object the campaign runner can pass
 around.  :func:`manzano` reproduces the paper's test platform (§3.2).
+
+The presets here are also registered by name in the machine registry
+(:mod:`repro.scenarios.machines`, ``get_machine("manzano")``), alongside the
+additional ``fatnode`` and ``cloudvm`` platforms; these module-level
+factories remain the stable construction API.
 """
 
 from __future__ import annotations
@@ -77,6 +82,22 @@ class MachineConfig:
     def with_noise(self, noise_spec: NoiseSpec) -> "MachineConfig":
         """Copy of this configuration with a replacement noise population."""
         return replace(self, noise_spec=noise_spec)
+
+    def with_noise_profile(self, profile: str) -> "MachineConfig":
+        """Copy of this configuration under a registered noise profile.
+
+        Profile names resolve through
+        :func:`repro.scenarios.sources.noise_profile` (``"default"``,
+        ``"none"``, ``"heavy-tail"``, ``"bursty"``, ``"storm"``, ...).
+        """
+        from repro.scenarios.sources import noise_profile
+
+        return replace(self, noise_spec=noise_profile(profile))
+
+    def with_noise_sources(self, *sources) -> "MachineConfig":
+        """Copy of this configuration composing exactly the given
+        :class:`~repro.cluster.noise.NoiseSourceSpec` declarations."""
+        return replace(self, noise_spec=self.noise_spec.with_sources(*sources))
 
 
 def manzano(n_nodes: int = 2) -> MachineConfig:

@@ -1,14 +1,20 @@
 """Operating-system noise model.
 
 The paper attributes laggard threads primarily to OS noise (citing Morari et
-al., "A quantitative analysis of OS noise", IPDPS 2011).  We model two noise
-sources per core:
+al., "A quantitative analysis of OS noise", IPDPS 2011).  By default we model
+two noise sources per core:
 
 * **Periodic daemons** — timer ticks, kernel threads, monitoring agents: a
   fixed period, a fixed (small) duration, and a per-core phase.
 * **Random interrupts** — a Poisson process of rare, longer preemptions
   (page-cache flush, NUMA balancing, ...), with exponentially distributed
   durations.  These are what produce >1 ms laggards.
+
+:class:`OSNoiseModel` composes a list of registered
+:class:`~repro.scenarios.sources.NoiseSource` instances; the default pair
+above is what a plain :class:`NoiseSpec` builds (bit-identical to the
+original hardwired model), and scenario noise profiles swap in heavy-tailed,
+bursty or storm populations through :attr:`NoiseSpec.sources`.
 
 The central query is :meth:`OSNoiseModel.delay_over`: given that a thread
 needs ``work_s`` seconds of CPU starting at ``start_s`` on a given core, how
@@ -19,12 +25,15 @@ region stretches to 26+ ms when a 1.2 ms interrupt lands inside it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.topology import Core
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.scenarios.sources import NoiseSource
 
 
 @dataclass(frozen=True)
@@ -37,6 +46,42 @@ class NoiseEvent:
     @property
     def end(self) -> float:
         return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class NoiseSourceSpec:
+    """Declarative description of one registered noise source.
+
+    ``kind`` names an entry of the noise-source registry
+    (:func:`repro.scenarios.sources.register_noise_source`); ``params`` are
+    the constructor keyword arguments, stored as a sorted tuple of pairs so
+    the spec stays hashable and produces stable cache keys.  Build with
+    :meth:`of` for keyword ergonomics::
+
+        NoiseSourceSpec.of("pareto-interrupts", rate_hz=0.2, alpha=1.5)
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not str(self.kind).strip():
+            raise ValueError("NoiseSourceSpec needs a source kind")
+        params = self.params
+        if isinstance(params, dict):
+            params = params.items()
+        object.__setattr__(
+            self, "params", tuple(sorted((str(k), v) for k, v in params))
+        )
+
+    @classmethod
+    def of(cls, kind: str, **params) -> "NoiseSourceSpec":
+        """Construct a spec from keyword parameters."""
+        return cls(kind=kind, params=tuple(sorted(params.items())))
+
+    def as_dict(self) -> Dict[str, float]:
+        """The parameters as a plain keyword dictionary."""
+        return dict(self.params)
 
 
 @dataclass(frozen=True)
@@ -60,6 +105,12 @@ class NoiseSpec:
         of the compute time).
     enabled:
         Master switch (the noise-off ablation uses ``enabled=False``).
+    sources:
+        Optional tuple of :class:`NoiseSourceSpec` declarations.  When empty
+        (the default) the model is built from the legacy scalar fields above
+        — one periodic daemon plus one Poisson interrupt source, bit-identical
+        to the pre-registry model.  When non-empty, exactly these registered
+        sources are composed *instead* and the scalar fields are ignored.
     """
 
     daemon_period_s: float = 0.010
@@ -69,6 +120,7 @@ class NoiseSpec:
     interrupt_max_s: float = 8.0e-3
     jitter_fraction: float = 0.005
     enabled: bool = True
+    sources: Tuple[NoiseSourceSpec, ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -83,22 +135,55 @@ class NoiseSpec:
                 raise ValueError(f"{name} must be non-negative")
         if self.daemon_period_s == 0 and self.daemon_duration_s > 0:
             raise ValueError("daemon_duration_s requires a non-zero period")
+        object.__setattr__(self, "sources", tuple(self.sources))
+        for source in self.sources:
+            if not isinstance(source, NoiseSourceSpec):
+                raise TypeError(
+                    "NoiseSpec.sources entries must be NoiseSourceSpec, "
+                    f"got {type(source).__name__}"
+                )
 
     def disabled(self) -> "NoiseSpec":
         """A copy of this spec with all noise switched off."""
-        return NoiseSpec(
-            daemon_period_s=self.daemon_period_s,
-            daemon_duration_s=self.daemon_duration_s,
-            interrupt_rate_hz=self.interrupt_rate_hz,
-            interrupt_mean_s=self.interrupt_mean_s,
-            interrupt_max_s=self.interrupt_max_s,
-            jitter_fraction=self.jitter_fraction,
-            enabled=False,
+        return replace(self, enabled=False)
+
+    def with_sources(self, *sources: NoiseSourceSpec) -> "NoiseSpec":
+        """A copy of this spec composing exactly the given sources."""
+        return replace(self, sources=tuple(sources))
+
+    def build_sources(self) -> Tuple["NoiseSource", ...]:
+        """Instantiate this spec's noise sources from the registry.
+
+        The import is deferred so the cluster layer stays importable without
+        the scenario subsystem (which itself imports this module).
+        """
+        from repro.scenarios.sources import build_noise_sources
+
+        if self.sources:
+            return build_noise_sources(self.sources)
+        return build_noise_sources(
+            (
+                NoiseSourceSpec.of(
+                    "periodic-daemon",
+                    period_s=self.daemon_period_s,
+                    duration_s=self.daemon_duration_s,
+                ),
+                NoiseSourceSpec.of(
+                    "poisson-interrupts",
+                    rate_hz=self.interrupt_rate_hz,
+                    mean_s=self.interrupt_mean_s,
+                    max_s=self.interrupt_max_s,
+                ),
+            )
         )
 
 
 class OSNoiseModel:
     """Samples OS noise for the cores of one simulated process.
+
+    Composes the :class:`~repro.scenarios.sources.NoiseSource` instances the
+    spec declares (or the default daemon + Poisson pair), querying them in
+    order with the model's generator so draw sequences stay deterministic.
 
     Parameters
     ----------
@@ -106,22 +191,30 @@ class OSNoiseModel:
         Noise population parameters.
     rng:
         Source of randomness (per process/trial, so trials are independent).
+    sources:
+        Explicit source instances to compose, overriding ``spec``'s source
+        declarations (the spec's ``enabled``/``jitter_fraction`` switches
+        still apply).
     """
 
-    def __init__(self, spec: NoiseSpec, rng: Optional[np.random.Generator] = None):
-        self.spec = spec
+    def __init__(
+        self,
+        spec: Optional[NoiseSpec] = None,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        sources: Optional[Sequence["NoiseSource"]] = None,
+    ):
+        self.spec = spec if spec is not None else NoiseSpec()
         self._rng = rng if rng is not None else np.random.default_rng(0)
-        # per-core phase of the periodic daemon, lazily drawn
-        self._phases: dict = {}
+        self.sources: Tuple["NoiseSource", ...] = (
+            tuple(sources) if sources is not None else self.spec.build_sources()
+        )
 
     # ------------------------------------------------------------------
-    def _phase_for(self, core_key: Tuple[int, int, int]) -> float:
-        if core_key not in self._phases:
-            period = self.spec.daemon_period_s
-            self._phases[core_key] = (
-                float(self._rng.uniform(0.0, period)) if period > 0 else 0.0
-            )
-        return self._phases[core_key]
+    @property
+    def horizon_s(self) -> float:
+        """Look-ahead the composed sources need beyond a compute window."""
+        return float(sum(source.horizon_s for source in self.sources))
 
     # ------------------------------------------------------------------
     def events_in(
@@ -131,28 +224,8 @@ class OSNoiseModel:
         if not self.spec.enabled or end_s <= start_s:
             return []
         events: List[NoiseEvent] = []
-        spec = self.spec
-        # periodic daemon occurrences
-        if spec.daemon_period_s > 0 and spec.daemon_duration_s > 0:
-            phase = self._phase_for(core.global_id)
-            first = np.ceil((start_s - phase) / spec.daemon_period_s)
-            tick = phase + first * spec.daemon_period_s
-            while tick < end_s:
-                events.append(NoiseEvent(tick, spec.daemon_duration_s))
-                tick += spec.daemon_period_s
-        # Poisson interrupts
-        if spec.interrupt_rate_hz > 0 and spec.interrupt_mean_s > 0:
-            window = end_s - start_s
-            n = int(self._rng.poisson(spec.interrupt_rate_hz * window))
-            if n > 0:
-                starts = start_s + self._rng.uniform(0.0, window, size=n)
-                durations = np.minimum(
-                    self._rng.exponential(spec.interrupt_mean_s, size=n),
-                    spec.interrupt_max_s,
-                )
-                events.extend(
-                    NoiseEvent(float(s), float(d)) for s, d in zip(starts, durations)
-                )
+        for source in self.sources:
+            events.extend(source.events_in(core.global_id, start_s, end_s, self._rng))
         events.sort(key=lambda ev: ev.start)
         return events
 
@@ -183,7 +256,7 @@ class OSNoiseModel:
             return 0.0
         # Look ahead over a window generously larger than the work to capture
         # events that land inside the stretched execution.
-        horizon = work_s * 1.5 + self.spec.interrupt_max_s + self.spec.daemon_period_s
+        horizon = work_s * 1.5 + self.horizon_s
         events = self.events_in(core, start_s, start_s + horizon)
         end = start_s + work_s
         extra = 0.0
@@ -212,27 +285,8 @@ class OSNoiseModel:
             return np.zeros_like(work)
         gen = rng if rng is not None else self._rng
         extra = np.zeros_like(work)
-        spec = self.spec
-        if spec.daemon_period_s > 0 and spec.daemon_duration_s > 0:
-            expected_ticks = work / spec.daemon_period_s
-            ticks = np.floor(expected_ticks) + (
-                gen.uniform(size=work.shape) < (expected_ticks - np.floor(expected_ticks))
-            )
-            extra += ticks * spec.daemon_duration_s
-        if spec.interrupt_rate_hz > 0 and spec.interrupt_mean_s > 0:
-            counts = gen.poisson(spec.interrupt_rate_hz * work)
-            flat_counts = counts.ravel()
-            total = int(flat_counts.sum())
-            if total > 0:
-                durations = np.minimum(
-                    gen.exponential(spec.interrupt_mean_s, size=total),
-                    spec.interrupt_max_s,
-                )
-                boundaries = np.cumsum(flat_counts)[:-1]
-                per_window = np.array(
-                    [seg.sum() for seg in np.split(durations, boundaries)]
-                ).reshape(work.shape)
-                extra += per_window
+        for source in self.sources:
+            extra = extra + source.batch_extra(work, gen)
         return extra
 
     # ------------------------------------------------------------------

@@ -394,8 +394,12 @@ class TimingDataset:
         return TimingDataset(columns, metadata)
 
     def with_metadata(self, **updates: object) -> "TimingDataset":
-        """Copy of the dataset with extra metadata entries."""
+        """Copy of the dataset with extra metadata entries.
+
+        An update value of ``None`` removes the entry instead.
+        """
         metadata = {**self.metadata, **updates}
+        metadata = {k: v for k, v in metadata.items() if v is not None}
         return TimingDataset(dict(self._data), metadata)
 
     # ------------------------------------------------------------------

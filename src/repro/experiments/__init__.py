@@ -16,7 +16,9 @@
 * :mod:`~repro.experiments.tables` — Table 1 and the §4.2 scalar-metric table.
 * :mod:`~repro.experiments.paper` — the paper's reported values, for
   paper-vs-measured comparison.
-* :mod:`~repro.experiments.runner` — the ``repro-campaign`` CLI.
+* :mod:`~repro.experiments.runner` — the ``repro-campaign`` CLI (also
+  ``python -m repro``), including ``--scenario`` / ``--list-scenarios``
+  backed by the :mod:`repro.scenarios` registries.
 """
 
 from repro.experiments.backends import (

@@ -47,11 +47,16 @@ def build_application(config: "CampaignConfig") -> ProxyApplication:
     The application's :class:`~repro.apps.base.ApplicationConfig` is replaced
     with a fresh copy (never mutated in place), so campaign sizing can't leak
     into other campaigns sharing an application instance or config object.
+    A campaign-level ``schedule`` clause (scenario override) replaces the
+    application's default loop schedule.
     """
     app = get_application(config.application)
-    app.config = dataclasses.replace(
-        app.config, n_threads=config.threads, n_iterations=config.iterations
-    )
+    overrides = {"n_threads": config.threads, "n_iterations": config.iterations}
+    if getattr(config, "schedule", None) is not None:
+        from repro.openmp.schedule import schedule_from_name
+
+        overrides["schedule"] = schedule_from_name(config.schedule)
+    app.config = dataclasses.replace(app.config, **overrides)
     return app
 
 
@@ -117,7 +122,7 @@ class CampaignBackend(ABC):
     def metadata(self, config: "CampaignConfig") -> Dict[str, object]:
         """Campaign-level dataset metadata (same content for all backends)."""
         app = build_application(config)
-        return {
+        meta = {
             "application": app.name,
             "region": app.region,
             "trials": config.trials,
@@ -130,6 +135,9 @@ class CampaignBackend(ABC):
             "noise_enabled": config.machine.noise_spec.enabled,
             **app.describe(),
         }
+        if getattr(config, "scenario", None) is not None:
+            meta["scenario"] = config.scenario
+        return meta
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -33,12 +33,32 @@ class CampaignConfig:
     #: worker-pool size for parallel sharded execution (1 = serial); results
     #: are bit-identical at any worker count
     max_workers: int = 1
+    #: optional OpenMP schedule clause (``"static"``, ``"dynamic,4"``,
+    #: ``"guided"``) overriding the application's default loop schedule
+    schedule: Optional[str] = None
+    #: optional scenario label this config was derived from (reports/metadata
+    #: only — it never affects the sampled data or the result cache key)
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if min(self.trials, self.processes, self.iterations, self.threads) < 1:
             raise ValueError("trials, processes, iterations and threads must be >= 1")
+        if isinstance(self.max_workers, bool) or not isinstance(self.max_workers, int):
+            raise TypeError(
+                f"max_workers must be an integer >= 1, got "
+                f"{self.max_workers!r} ({type(self.max_workers).__name__})"
+            )
         if self.max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
+            raise ValueError(
+                f"max_workers must be >= 1 (1 = serial execution), got "
+                f"{self.max_workers}"
+            )
+        if self.schedule is not None:
+            # validate eagerly so a bad clause fails at construction with the
+            # schedule parser's error, not deep inside a worker process
+            from repro.openmp.schedule import schedule_from_name
+
+            schedule_from_name(self.schedule)
         # imported lazily: backends depends on the apps/core stack, which in
         # turn constructs configs — the registry is only needed at validation
         from repro.experiments.backends import get_backend
@@ -72,6 +92,10 @@ class CampaignConfig:
     def with_backend(self, backend: str) -> "CampaignConfig":
         """Copy of this configuration on another registered backend."""
         return replace(self, backend=backend)
+
+    def with_schedule(self, schedule: Optional[str]) -> "CampaignConfig":
+        """Copy of this configuration under another OpenMP loop schedule."""
+        return replace(self, schedule=schedule)
 
     def scaled(self, *, trials: Optional[int] = None, processes: Optional[int] = None,
                iterations: Optional[int] = None, threads: Optional[int] = None) -> "CampaignConfig":
@@ -107,3 +131,13 @@ class CampaignConfig:
         """Tiny configuration for unit/integration tests."""
         return cls(application=application, trials=1, processes=2, iterations=12,
                    threads=16, seed=seed, machine=manzano(n_nodes=1))
+
+    @classmethod
+    def from_scenario(
+        cls, name: str, scale: str = "smoke", **overrides
+    ) -> "CampaignConfig":
+        """The configuration of a registered scenario (see
+        :mod:`repro.scenarios`) at the given scale."""
+        from repro.scenarios.scenario import get_scenario
+
+        return get_scenario(name).campaign_config(scale, **overrides)

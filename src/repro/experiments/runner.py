@@ -1,4 +1,4 @@
-"""The ``repro-campaign`` command-line interface.
+"""The ``repro-campaign`` command-line interface (also ``python -m repro``).
 
 Runs the measurement campaign for one or more applications, regenerates the
 paper's tables and figures and writes everything (datasets, CSV series, an
@@ -6,6 +6,13 @@ ASCII report) to an output directory::
 
     repro-campaign --scale benchmark --output results/
     repro-campaign --scale paper --apps minife minimd miniqmc --output results-full/
+
+Registered scenarios (machine × noise × application × schedule recipes from
+:mod:`repro.scenarios`) are first-class::
+
+    python -m repro --list-scenarios
+    python -m repro --scenario manzano-default --scale smoke --output results/
+    python -m repro --machine cloudvm --schedule dynamic --apps minife
 """
 
 from __future__ import annotations
@@ -36,6 +43,14 @@ from repro.experiments.tables import (
     table1,
 )
 from repro.io.dataset_io import save_dataset
+from repro.scenarios import (
+    available_machines,
+    available_noise_profiles,
+    available_noise_sources,
+    available_scenarios,
+    get_machine,
+    get_scenario,
+)
 from repro.viz.ascii import ascii_histogram, ascii_percentile_plot, ascii_table
 from repro.viz.export import export_histogram_csv, export_percentiles_csv, export_rows_csv
 
@@ -63,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--apps",
         nargs="+",
-        default=["minife", "minimd", "miniqmc"],
+        default=None,
         help="applications to run (default: all three proxies)",
     )
     parser.add_argument(
@@ -97,6 +112,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache campaign datasets here, keyed by a config hash",
     )
     parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="run a registered scenario (machine x noise x app x schedule); "
+        "see --list-scenarios",
+    )
+    parser.add_argument(
+        "--machine",
+        default=None,
+        metavar="NAME",
+        help="registered machine preset for non-scenario runs "
+        "(default: the paper's manzano)",
+    )
+    parser.add_argument(
+        "--schedule",
+        default=None,
+        metavar="CLAUSE",
+        help="OpenMP schedule clause override ('static', 'dynamic,4', 'guided')",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the registered scenario catalog and exit",
+    )
+    parser.add_argument(
+        "--list-machines",
+        action="store_true",
+        help="print the registered machine presets and exit",
+    )
+    parser.add_argument(
+        "--list-noise-sources",
+        action="store_true",
+        help="print the registered noise sources and profiles and exit",
+    )
+    parser.add_argument(
+        "--porcelain",
+        action="store_true",
+        help="with --list-*: print bare names only, one per line (for scripts "
+        "and the CI matrix)",
+    )
+    parser.add_argument(
         "--no-noise", action="store_true", help="disable the OS-noise model (ablation)"
     )
     parser.add_argument(
@@ -109,24 +165,74 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _configure(args: argparse.Namespace, application: str) -> CampaignConfig:
-    config: CampaignConfig = SCALES[args.scale](application=application)
-    config = config.scaled(
-        trials=args.trials,
-        processes=args.processes,
-        iterations=args.iterations,
-        threads=args.threads,
-    )
-    # replace() (rather than attribute assignment) re-runs __post_init__, so
-    # CLI overrides go through the same validation as constructed configs
-    config = replace(
-        config,
-        seed=args.seed if args.seed is not None else config.seed,
-        backend=args.backend,
-        max_workers=args.max_workers,
-    )
+    if args.scenario is not None:
+        # the scenario fixes machine/noise/app/schedule; CLI flags still
+        # override campaign dimensions, seed, backend and worker count
+        config = get_scenario(args.scenario).campaign_config(
+            args.scale,
+            trials=args.trials,
+            processes=args.processes,
+            iterations=args.iterations,
+            threads=args.threads,
+            seed=args.seed,
+            backend=args.backend,
+            max_workers=args.max_workers,
+        )
+    else:
+        config = SCALES[args.scale](application=application)
+        config = config.scaled(
+            trials=args.trials,
+            processes=args.processes,
+            iterations=args.iterations,
+            threads=args.threads,
+        )
+        # replace() (rather than attribute assignment) re-runs __post_init__,
+        # so CLI overrides go through the same validation as constructed
+        # configs
+        config = replace(
+            config,
+            seed=args.seed if args.seed is not None else config.seed,
+            backend=args.backend,
+            max_workers=args.max_workers,
+            machine=(
+                get_machine(args.machine) if args.machine is not None else config.machine
+            ),
+            schedule=args.schedule if args.schedule is not None else config.schedule,
+        )
     if args.no_noise:
         config.machine = config.machine.without_noise()
     return config
+
+
+def _print_catalogs(args: argparse.Namespace) -> None:
+    if args.list_scenarios:
+        for name in available_scenarios():
+            if args.porcelain:
+                print(name)
+            else:
+                row = get_scenario(name).describe()
+                print(
+                    f"{row['name']:24s} machine={row['machine']:10s} "
+                    f"app={row['application']:8s} noise={row['noise']:18s} "
+                    f"schedule={row['schedule']:14s} {row['description']}"
+                )
+    if args.list_machines:
+        for name in available_machines():
+            if args.porcelain:
+                print(name)
+            else:
+                machine = get_machine(name)
+                print(
+                    f"{name:10s} {machine.n_nodes} node(s) x "
+                    f"{machine.sockets_per_node} socket(s) x "
+                    f"{machine.cores_per_socket} cores @ "
+                    f"{machine.frequency_ghz:.2f} GHz, {machine.memory_gb:.0f} GB"
+                )
+    if args.list_noise_sources:
+        for name in available_noise_sources():
+            print(name)
+        if not args.porcelain:
+            print("profiles: " + ", ".join(available_noise_profiles()))
 
 
 def _write_figures(datasets: Dict[str, TimingDataset], output: Path, report_lines: List[str]) -> None:
@@ -161,19 +267,38 @@ def _write_figures(datasets: Dict[str, TimingDataset], output: Path, report_line
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-campaign`` console script."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_scenarios or args.list_machines or args.list_noise_sources:
+        _print_catalogs(args)
+        return 0
+    if args.scenario is not None:
+        # a scenario fixes machine, schedule and application — overriding
+        # them silently would mislabel the resulting dataset
+        for flag in ("machine", "schedule", "apps"):
+            if getattr(args, flag) is not None:
+                parser.error(
+                    f"--{flag} conflicts with --scenario (the scenario fixes "
+                    "machine, schedule and application)"
+                )
+        applications = [get_scenario(args.scenario).application]
+    else:
+        applications = args.apps or ["minife", "minimd", "miniqmc"]
     output: Path = args.output
     output.mkdir(parents=True, exist_ok=True)
     datasets: Dict[str, TimingDataset] = {}
     report_lines: List[str] = []
-    for application in args.apps:
+    for application in applications:
         config = _configure(args, application)
         started = time.perf_counter()
         workers = f", {config.max_workers} workers" if config.max_workers > 1 else ""
+        scenario = f" [scenario {config.scenario}]" if config.scenario else ""
         print(
-            f"[repro-campaign] running {application}: {config.trials} trials x "
+            f"[repro-campaign] running {application}{scenario}: "
+            f"{config.trials} trials x "
             f"{config.processes} processes x {config.iterations} iterations x "
-            f"{config.threads} threads ({config.backend} backend{workers})",
+            f"{config.threads} threads on {config.machine.name} "
+            f"({config.backend} backend{workers})",
             flush=True,
         )
         session = CampaignSession(config, cache_dir=args.cache_dir)

@@ -44,9 +44,10 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
 def config_cache_key(config: "CampaignConfig") -> str:
     """Stable hash of everything that determines a campaign's samples.
 
-    Includes the full machine description (clock and noise populations);
-    excludes execution knobs that cannot change the data, such as
-    ``max_workers`` — a parallel run hits the cache entry of a serial one.
+    Includes the full machine description (clock and noise populations) and
+    the scenario's schedule override; excludes knobs that cannot change the
+    data, such as ``max_workers`` (a parallel run hits the cache entry of a
+    serial one) and the ``scenario`` label.
     """
     payload = {
         "application": config.application,
@@ -56,6 +57,7 @@ def config_cache_key(config: "CampaignConfig") -> str:
         "threads": config.threads,
         "seed": config.seed,
         "backend": config.backend,
+        "schedule": getattr(config, "schedule", None),
         "machine": dataclasses.asdict(config.machine),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
@@ -215,9 +217,14 @@ class CampaignSession:
         if cache_path is not None and use_cache and cache_path.exists():
             from repro.io.dataset_io import load_dataset
 
-            result = CampaignResult(
-                config, dataset=load_dataset(cache_path), from_cache=True
-            )
+            dataset = load_dataset(cache_path)
+            # the cache key deliberately excludes the scenario label (it
+            # cannot change the samples), so a hit may carry the label of
+            # whichever scenario populated the entry — re-stamp it
+            scenario = getattr(config, "scenario", None)
+            if dataset.metadata.get("scenario") != scenario:
+                dataset = dataset.with_metadata(scenario=scenario)
+            result = CampaignResult(config, dataset=dataset, from_cache=True)
         else:
             shards = self._executor().run(backend, config)
             result = CampaignResult(

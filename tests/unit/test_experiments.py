@@ -137,7 +137,10 @@ class TestRunnerCLI:
     def test_parser_defaults(self):
         args = build_parser().parse_args([])
         assert args.scale == "benchmark"
-        assert args.apps == ["minife", "minimd", "miniqmc"]
+        # --apps defaults to None (all three proxies at run time) so that an
+        # explicit --apps can be detected as conflicting with --scenario
+        assert args.apps is None
+        assert args.scenario is None
 
     def test_main_smoke_run_writes_outputs(self, tmp_path):
         exit_code = main(
