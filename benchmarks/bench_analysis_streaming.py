@@ -1,0 +1,127 @@
+"""Merged-dataset vs streaming-pass campaign analysis.
+
+Benchmarks the two ways of producing a feasibility report for the same
+benchmark-scale MiniFE campaign:
+
+* **merged** — run the campaign, merge the shards into the dense
+  ``TimingDataset``, analyse with the in-memory ``ThreadTimingAnalyzer``;
+* **streaming** — fold the shard stream through the registered analysis
+  passes (``CampaignSession.analyze(analyses=...)``), never materialising
+  the merged dataset.
+
+Qualitative claims asserted before timing:
+
+* both paths produce field-for-field identical reports in exact mode (the
+  refactor's acceptance criterion), and
+* in bounded (sketch) mode the merged accumulator state stays essentially
+  the same size when the campaign grows 3x in shard count — peak
+  accumulator memory is independent of the number of shards, while the
+  dataset the merged path must hold grows linearly.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis import AnalysisContext, ShardAnalyzer, resolve_analyses
+from repro.core.analyzer import ThreadTimingAnalyzer
+from repro.experiments.backends import get_backend
+from repro.experiments.config import CampaignConfig
+from repro.experiments.session import CampaignSession
+
+#: the report-producing passes (earlybird excluded to keep both sides equal)
+ANALYSES = ("percentiles", "histogram", "laggards", "reclaimable", "normality")
+
+
+def _config(trials: int = 2) -> CampaignConfig:
+    return CampaignConfig.benchmark_scale(application="minife").scaled(trials=trials)
+
+
+def _merged_report(config: CampaignConfig):
+    dataset = CampaignSession(config).run(use_cache=False).dataset
+    return ThreadTimingAnalyzer(dataset).report(include_earlybird=False)
+
+
+def _streaming_report(config: CampaignConfig, exact: bool = True):
+    results = CampaignSession(config).analyze(analyses=ANALYSES, exact=exact)
+    return results.report(include_earlybird=False)
+
+
+def _merged_accumulator_bytes(config: CampaignConfig) -> int:
+    """Pickled size of the fully merged (pre-finalize) pass states in
+    bounded mode — the streaming path's peak retained analysis state.
+
+    Sketch capacities are set low enough that every sketch is saturated at
+    the small campaign already: beyond saturation the retained state is a
+    function of the sketch capacity, not of how many shards streamed
+    through it.
+    """
+    from repro.analysis import (
+        HistogramPass,
+        LaggardsPass,
+        NormalityPass,
+        PercentilesPass,
+        ReclaimablePass,
+    )
+
+    backend = get_backend(config.backend)
+    context = AnalysisContext.from_config(
+        config, exact=False, metadata=backend.metadata(config)
+    )
+    passes = resolve_analyses(
+        [
+            PercentilesPass(sketch_capacity=128),
+            HistogramPass(),
+            LaggardsPass(),
+            ReclaimablePass(sketch_capacity=128),
+            NormalityPass(sketch_capacity=1024),
+        ]
+    )
+    mapper = ShardAnalyzer(passes, context)
+    merged = None
+    for shard in backend.iter_shards(config):
+        partial = mapper(shard)
+        if merged is None:
+            merged = partial
+        else:
+            merged = {
+                p.name: p.merge(merged[p.name], partial[p.name]) for p in passes
+            }
+    return len(pickle.dumps(merged))
+
+
+@pytest.mark.benchmark(group="analysis-streaming")
+def test_merged_dataset_analysis(benchmark):
+    config = _config()
+    report = benchmark(_merged_report, config)
+    assert report.n_samples == config.samples_per_application
+
+
+@pytest.mark.benchmark(group="analysis-streaming")
+def test_streaming_pass_analysis(benchmark):
+    config = _config()
+    # acceptance: the streaming path is field-for-field identical to the
+    # merged-dataset path before we time it
+    assert _streaming_report(config).as_dict() == _merged_report(config).as_dict()
+    report = benchmark(_streaming_report, config)
+    assert report.n_samples == config.samples_per_application
+
+
+@pytest.mark.benchmark(group="analysis-streaming-memory")
+def test_accumulator_memory_independent_of_shard_count(benchmark):
+    small, large = _config(trials=2), _config(trials=6)
+    small_bytes = _merged_accumulator_bytes(small)
+    large_bytes = benchmark(_merged_accumulator_bytes, large)
+    dataset_growth = (
+        large.samples_per_application / small.samples_per_application
+    )
+    assert dataset_growth == pytest.approx(3.0)
+    # bounded accumulators: 3x the shards, ~1x the retained state (sketches
+    # saturate at their capacity; only integer tallies grow)
+    assert large_bytes < 1.2 * small_bytes
+    # and the retained state is a small fraction of the merged dataset the
+    # in-memory path must hold (5 int/float columns x 8 bytes per sample)
+    merged_dataset_bytes = large.samples_per_application * 8 * 5
+    assert large_bytes < 0.1 * merged_dataset_bytes

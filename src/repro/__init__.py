@@ -34,6 +34,11 @@ contribution (thread-timing instrumentation and analysis) on top:
     (``@register_noise_source``) and declarative :class:`Scenario` recipes
     (machine × noise × application × schedule), with
     :class:`ScenarioMatrix` expansion for sweeps.
+``repro.analysis``
+    The streaming analysis engine: registered shard-mergeable analysis
+    passes (``@register_analysis``) that fold campaign shards through a
+    ``prepare → accumulate → merge → finalize`` lifecycle, so §4 analyses
+    run in one parallel pass without materialising the merged dataset.
 
 Quickstart
 ----------
@@ -57,6 +62,13 @@ Scenarios name full experimental settings and feed the same session::
 >>> result = get_scenario("manzano-quiet").session(scale="smoke").run()
 >>> result.dataset.metadata["noise_enabled"]
 False
+
+Campaign-scale analysis streams shards through registered analysis passes
+instead of merging them first::
+
+>>> results = session.analyze(analyses=["percentiles", "laggards",
+...                                     "reclaimable", "normality"])
+>>> report = results.report(include_earlybird=False)
 """
 
 from __future__ import annotations
@@ -88,9 +100,21 @@ __all__ = [
     "make_noise_source",
     "available_noise_sources",
     "noise_profile",
+    "AnalysisPass",
+    "register_analysis",
+    "get_analysis",
+    "available_analyses",
+    "run_analyses",
 ]
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.analysis import (
+        AnalysisPass,
+        available_analyses,
+        get_analysis,
+        register_analysis,
+        run_analyses,
+    )
     from repro.core.analyzer import ThreadTimingAnalyzer
     from repro.core.timing import TimingDataset, TimingRecord, TimingShard
     from repro.experiments.backends import register_backend
@@ -138,6 +162,11 @@ _LAZY_EXPORTS = {
     "make_noise_source": ("repro.scenarios.sources", "make_noise_source"),
     "available_noise_sources": ("repro.scenarios.sources", "available_noise_sources"),
     "noise_profile": ("repro.scenarios.sources", "noise_profile"),
+    "AnalysisPass": ("repro.analysis", "AnalysisPass"),
+    "register_analysis": ("repro.analysis", "register_analysis"),
+    "get_analysis": ("repro.analysis", "get_analysis"),
+    "available_analyses": ("repro.analysis", "available_analyses"),
+    "run_analyses": ("repro.analysis", "run_analyses"),
 }
 
 

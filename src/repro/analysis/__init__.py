@@ -1,0 +1,86 @@
+"""Streaming analysis engine: pluggable, shard-mergeable analysis passes.
+
+The §4 analyses used to require the entire merged
+:class:`~repro.core.timing.TimingDataset` in memory.  This subpackage
+refactors them into a registry of :class:`AnalysisPass` objects following a
+``prepare → accumulate(shard) → merge → finalize`` lifecycle, so a
+campaign's :class:`~repro.core.timing.TimingShard` stream — serial or
+parallel — is analysed in one pass without materialising the merged
+dataset (and, in sketch mode, with accumulator memory independent of the
+shard count):
+
+>>> from repro.experiments import CampaignConfig, CampaignSession
+>>> session = CampaignSession(CampaignConfig.smoke())
+>>> results = session.analyze(analyses=["percentiles", "laggards",
+...                                     "reclaimable", "normality"])
+>>> results.report(include_earlybird=False)
+
+Built-in passes (``available_analyses()``): ``percentiles``, ``histogram``,
+``normality``, ``laggards``, ``reclaimable``, ``earlybird``.  Custom passes
+subclass :class:`AnalysisPass` and register with :func:`register_analysis`
+— the third registry of the campaign layer, after execution backends and
+scenarios.
+
+In ``exact`` mode (default) every pass is bit-identical to the legacy
+in-memory :class:`~repro.core.analyzer.ThreadTimingAnalyzer`; with
+``exact=False`` the passes switch to bounded sketches whose memory is
+independent of the shard count (documented tolerance on sketched
+percentiles).
+"""
+
+from repro.analysis.base import (
+    AnalysisContext,
+    AnalysisPass,
+    analysis_title,
+    available_analyses,
+    get_analysis,
+    register_analysis,
+    resolve_analyses,
+    unregister_analysis,
+)
+from repro.analysis.engine import (
+    AnalysisResults,
+    ShardAnalyzer,
+    run_analyses,
+    run_campaign_analyses,
+)
+from repro.analysis.passes import (
+    DEFAULT_EARLYBIRD_MAX_GROUPS,
+    DEFAULT_SKETCH_CAPACITY,
+    EarlybirdPass,
+    HistogramPass,
+    LaggardsPass,
+    LaggardsResult,
+    NormalityPass,
+    NormalityResult,
+    PercentilesPass,
+    ReclaimablePass,
+)
+from repro.analysis.report import REPORT_ANALYSES, assemble_feasibility_report
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "AnalysisResults",
+    "ShardAnalyzer",
+    "analysis_title",
+    "available_analyses",
+    "get_analysis",
+    "register_analysis",
+    "resolve_analyses",
+    "unregister_analysis",
+    "run_analyses",
+    "run_campaign_analyses",
+    "assemble_feasibility_report",
+    "REPORT_ANALYSES",
+    "DEFAULT_SKETCH_CAPACITY",
+    "DEFAULT_EARLYBIRD_MAX_GROUPS",
+    "PercentilesPass",
+    "HistogramPass",
+    "NormalityPass",
+    "NormalityResult",
+    "LaggardsPass",
+    "LaggardsResult",
+    "ReclaimablePass",
+    "EarlybirdPass",
+]

@@ -1,0 +1,278 @@
+"""The analysis-pass protocol, context and registry.
+
+An :class:`AnalysisPass` is a shard-mergeable analysis: instead of requiring
+the whole merged :class:`~repro.core.timing.TimingDataset` in memory, it
+follows the map-reduce-style lifecycle
+
+``prepare → accumulate(shard) → merge → finalize``
+
+* :meth:`AnalysisPass.prepare` creates an empty accumulator *state* for one
+  campaign (a plain picklable object — states travel between executor
+  workers).
+* :meth:`AnalysisPass.accumulate` folds one
+  :class:`~repro.core.timing.TimingShard` into a state.
+* :meth:`AnalysisPass.merge` combines two states (any grouping of shards,
+  any order — the built-in passes are written so the finalised product does
+  not depend on how the shards were batched).
+* :meth:`AnalysisPass.finalize` turns the merged state into the pass's
+  product (a :class:`~repro.stats.percentiles.PercentileSeries`, a
+  histogram, a laggard summary, ...).
+
+Passes register by name with :func:`register_analysis` — the third registry
+of the campaign layer, next to the execution backends and the scenario
+catalog — and the engine (:mod:`repro.analysis.engine`), the campaign
+session and the CLI resolve them with :func:`get_analysis` /
+:func:`available_analyses`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.timing import TimingDataset, TimingShard
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.experiments.config import CampaignConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisContext:
+    """Campaign-level facts every pass may rely on while streaming.
+
+    Shards carry only their own rows; the context supplies the global frame
+    (the full trial/process/iteration index sets, thread count, application
+    label and dataset metadata) so passes can place per-shard partials —
+    e.g. the early-bird pass needs each group's *global* index to reproduce
+    the deterministic strided subset of the in-memory path.
+
+    ``exact`` selects the bit-identical accumulation mode: passes keep exact
+    per-group (never per-sample-merged) vectors and produce results
+    bit-identical to the legacy in-memory analyzer.  With ``exact=False``
+    the passes switch to bounded-memory accumulators (sketches and running
+    tallies) whose outputs agree within documented tolerances.
+    """
+
+    application: str = "unknown"
+    trials: Tuple[int, ...] = ()
+    processes: Tuple[int, ...] = ()
+    iterations: Tuple[int, ...] = ()
+    n_threads: int = 0
+    exact: bool = True
+    metadata: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.processes)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def n_groups(self) -> int:
+        """Process-iteration group count (the Table-1 granularity)."""
+        return self.n_trials * self.n_processes * self.n_iterations
+
+    @property
+    def n_samples(self) -> int:
+        return self.n_groups * self.n_threads
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: "CampaignConfig",
+        *,
+        exact: bool = True,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> "AnalysisContext":
+        """Context of a campaign described by its configuration."""
+        return cls(
+            application=config.application,
+            trials=tuple(range(config.trials)),
+            processes=tuple(range(config.processes)),
+            iterations=tuple(range(config.iterations)),
+            n_threads=config.threads,
+            exact=exact,
+            metadata=dict(metadata or {}),
+        )
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: TimingDataset, *, exact: bool = True
+    ) -> "AnalysisContext":
+        """Context of an already-materialised dataset (facade path)."""
+        return cls(
+            application=dataset.application,
+            trials=tuple(int(t) for t in dataset.trials),
+            processes=tuple(int(p) for p in dataset.processes),
+            iterations=tuple(int(i) for i in dataset.iterations),
+            n_threads=dataset.n_threads,
+            exact=exact,
+            metadata=dict(dataset.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    def group_indices(self, keys: Sequence[Tuple[int, int, int]]) -> np.ndarray:
+        """Global process-iteration group index of each (trial, process,
+        iteration) key, matching the dense aggregation's row order."""
+        if not keys:
+            return np.empty(0, dtype=np.int64)
+        arr = np.asarray(keys, dtype=np.int64)
+        t = np.searchsorted(np.asarray(self.trials), arr[:, 0])
+        p = np.searchsorted(np.asarray(self.processes), arr[:, 1])
+        i = np.searchsorted(np.asarray(self.iterations), arr[:, 2])
+        return (t * self.n_processes + p) * self.n_iterations + i
+
+
+class AnalysisPass(ABC):
+    """One shard-mergeable analysis (see the module docstring).
+
+    Subclasses hold only their *parameters* (thresholds, bin widths, ...) —
+    all accumulation state lives in the objects returned by
+    :meth:`prepare` — so one pass instance can be shared across campaigns
+    and pickled to executor workers.
+    """
+
+    #: registered pass name (set by :func:`register_analysis`)
+    name: str = "abstract"
+    #: one-line description shown by ``--list-analyses``
+    title: str = ""
+
+    # ------------------------------------------------------------------
+    def prepare(self, context: AnalysisContext) -> Any:
+        """A fresh, empty accumulator state for one campaign."""
+        return {}
+
+    @abstractmethod
+    def accumulate(self, state: Any, shard: TimingShard, context: AnalysisContext) -> Any:
+        """Fold one shard into ``state`` (may mutate and return it)."""
+
+    @abstractmethod
+    def merge(self, state: Any, other: Any) -> Any:
+        """Combine two accumulator states."""
+
+    @abstractmethod
+    def finalize(self, state: Any, context: AnalysisContext) -> Any:
+        """Turn the merged state into the pass's product."""
+
+    # ------------------------------------------------------------------
+    def run(
+        self, shards: Iterable[TimingShard], context: AnalysisContext
+    ) -> Any:
+        """Convenience serial driver: fold all shards, finalize."""
+        state = self.prepare(context)
+        for shard in shards:
+            state = self.accumulate(state, shard, context)
+        return self.finalize(state, context)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_ANALYSES: Dict[str, Type[AnalysisPass]] = {}
+
+
+def register_analysis(name=None, *, replace: bool = False):
+    """Class decorator registering an :class:`AnalysisPass` by name.
+
+    Usable bare (``@register_analysis`` — uses the class's ``name``) or with
+    an explicit name (``@register_analysis("percentiles")``).  Registering a
+    name twice raises unless ``replace=True`` (or the class is identical,
+    which makes module re-imports idempotent).
+    """
+
+    def decorator(cls: Type[AnalysisPass]) -> Type[AnalysisPass]:
+        if not (isinstance(cls, type) and issubclass(cls, AnalysisPass)):
+            raise TypeError("register_analysis expects an AnalysisPass subclass")
+        key = (name if isinstance(name, str) else cls.name).strip().lower()
+        if not key or key == "abstract":
+            raise ValueError("analysis pass needs a concrete registration name")
+        existing = _ANALYSES.get(key)
+        if existing is not None and existing is not cls and not replace:
+            raise ValueError(
+                f"analysis {key!r} is already registered ({existing.__name__}); "
+                "pass replace=True to override"
+            )
+        cls.name = key
+        _ANALYSES[key] = cls
+        return cls
+
+    if isinstance(name, type):  # bare @register_analysis
+        cls, name = name, None
+        return decorator(cls)
+    return decorator
+
+
+def available_analyses() -> Tuple[str, ...]:
+    """Names of all registered analysis passes, sorted."""
+    return tuple(sorted(_ANALYSES))
+
+
+def get_analysis(name: str) -> AnalysisPass:
+    """Instantiate the pass registered under ``name`` (default parameters)."""
+    key = str(name).strip().lower()
+    try:
+        cls = _ANALYSES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown analysis {name!r}; registered analyses: "
+            f"{', '.join(available_analyses()) or '(none)'}"
+        ) from None
+    return cls()
+
+
+def analysis_title(name: str) -> str:
+    """The one-line description of a registered pass."""
+    key = str(name).strip().lower()
+    cls = _ANALYSES.get(key)
+    return cls.title if cls is not None else ""
+
+
+def unregister_analysis(name: str) -> None:
+    """Remove a pass from the registry (primarily for tests)."""
+    _ANALYSES.pop(str(name).strip().lower(), None)
+
+
+def resolve_analyses(
+    analyses: Union[None, str, AnalysisPass, Iterable[Union[str, AnalysisPass]]],
+) -> Tuple[AnalysisPass, ...]:
+    """Normalise an ``analyses=`` argument into pass instances.
+
+    ``None`` or ``"all"`` resolves to every registered pass; otherwise a
+    name, a pass instance, or any mix of the two in an iterable.
+    """
+    if analyses is None or analyses == "all":
+        return tuple(get_analysis(name) for name in available_analyses())
+    if isinstance(analyses, (str, AnalysisPass)):
+        analyses = [analyses]
+    resolved = []
+    for item in analyses:
+        resolved.append(item if isinstance(item, AnalysisPass) else get_analysis(item))
+    names = [p.name for p in resolved]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate analyses requested: {names}")
+    return tuple(resolved)

@@ -1,0 +1,563 @@
+"""The built-in analysis passes: every §4 product, shard-mergeable.
+
+Each pass ports one :class:`~repro.core.analyzer.ThreadTimingAnalyzer`
+product onto the ``prepare → accumulate(shard) → merge → finalize``
+lifecycle of :class:`~repro.analysis.base.AnalysisPass`:
+
+============  ====================================================  =========
+name          product                                               paper
+============  ====================================================  =========
+percentiles   :class:`~repro.stats.percentiles.PercentileSeries`    Fig 4/6/8
+histogram     :class:`~repro.stats.histogram.FixedWidthHistogram`   Fig 3
+normality     :class:`NormalityResult`                              §4.1/Tab 1
+laggards      :class:`LaggardsResult`                               §4.2
+reclaimable   :class:`~repro.core.reclaimable.ReclaimableSummary`   §4.2
+earlybird     dict of mean early-bird gains                         Fig 1/2
+============  ====================================================  =========
+
+Exactness contract (checked by the pinned-digest integration tests): with
+``context.exact`` (the default) every pass produces results *bit-identical*
+to the in-memory analyzer, for any shard decomposition and any shard order.
+The trick is that accumulators never merge floating-point partials — they
+keep exact per-shard segments keyed by the shard's serial sort position and
+re-assemble the dense-order arrays at finalize.  With ``exact=False`` the
+passes switch to bounded accumulators (:class:`~repro.stats.sketch.PercentileSketch`,
+:class:`~repro.stats.streaming.StreamingMoments`, lattice histograms) whose
+memory is independent of the shard count; sketched percentiles then agree
+within the sketch's documented rank tolerance (≈ ``1 / capacity``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.base import AnalysisContext, AnalysisPass, register_analysis
+from repro.core.aggregation import AggregationLevel, aggregate_shard
+from repro.core.earlybird import EarlyBirdModel
+from repro.core.laggard import (
+    DEFAULT_LAGGARD_THRESHOLD_S,
+    DEFAULT_WIDE_IQR_S,
+    IterationClass,
+    LaggardAnalysis,
+    group_laggard_metrics,
+)
+from repro.core.normality import stratified_subsample
+from repro.core.reclaimable import ReclaimableSummary, idle_ratio, reclaimable_time
+from repro.core.timing import TimingShard
+from repro.stats.battery import TEST_NAMES, NormalityBattery
+from repro.stats.histogram import FixedWidthHistogram
+from repro.stats.percentiles import DEFAULT_PERCENTILES, PercentileSeries, percentile_table
+from repro.stats.sketch import PercentileSketch
+from repro.stats.streaming import StreamingHistogram, StreamingMoments
+
+#: default bounded-mode sketch capacity (per accumulator)
+DEFAULT_SKETCH_CAPACITY = 4096
+
+#: default size of the early-bird pass's deterministic strided group subset
+DEFAULT_EARLYBIRD_MAX_GROUPS = 200
+
+
+def _sorted_segments(segments: List[Tuple[Tuple[int, int], Any]]) -> List[Any]:
+    """Segment payloads ordered by the shards' serial (trial-major) position."""
+    return [payload for _, payload in sorted(segments, key=lambda item: item[0])]
+
+
+# ----------------------------------------------------------------------
+@register_analysis("percentiles")
+class PercentilesPass(AnalysisPass):
+    """Per-application-iteration percentile trajectories (Figures 4/6/8)."""
+
+    title = "per-iteration percentile trajectories (Figures 4/6/8)"
+
+    def __init__(
+        self,
+        percentiles: Tuple[float, ...] = DEFAULT_PERCENTILES,
+        *,
+        sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+    ) -> None:
+        self.percentiles = tuple(percentiles)
+        self.sketch_capacity = int(sketch_capacity)
+
+    def prepare(self, context: AnalysisContext) -> Dict[int, Any]:
+        # iteration id -> list of (sort_key, samples) segments (exact) or a
+        # PercentileSketch (bounded)
+        return {}
+
+    def accumulate(self, state, shard: TimingShard, context: AnalysisContext):
+        grouped = aggregate_shard(shard, AggregationLevel.APPLICATION_ITERATION)
+        for key, row in zip(grouped.keys, grouped.values):
+            iteration = int(key[0])
+            if context.exact:
+                state.setdefault(iteration, []).append((shard.sort_key, row))
+            else:
+                sketch = state.get(iteration)
+                if sketch is None:
+                    sketch = state[iteration] = PercentileSketch(self.sketch_capacity)
+                sketch.update(row)
+        return state
+
+    def merge(self, state, other):
+        for iteration, payload in other.items():
+            mine = state.get(iteration)
+            if mine is None:
+                state[iteration] = payload
+            elif isinstance(payload, list):
+                mine.extend(payload)
+            else:
+                state[iteration] = mine.merge(payload)
+        return state
+
+    def finalize(self, state, context: AnalysisContext) -> PercentileSeries:
+        iterations = sorted(state)
+        if not iterations:
+            raise ValueError("percentiles pass saw no shards")
+        levels = list(self.percentiles)
+        values = np.empty((len(levels), len(iterations)))
+        for col, iteration in enumerate(iterations):
+            payload = state[iteration]
+            if isinstance(payload, list):
+                # exact: shard segments re-assembled in serial order give the
+                # dense path's per-iteration row, bit for bit
+                row_ms = np.concatenate(_sorted_segments(payload)) * 1.0e3
+                values[:, col] = percentile_table(row_ms, levels, axis=-1)
+            else:
+                values[:, col] = payload.quantile(levels) * 1.0e3
+        return PercentileSeries(
+            iterations=np.arange(len(iterations)),
+            percentiles=tuple(levels),
+            values=values,
+            unit="ms",
+        )
+
+
+# ----------------------------------------------------------------------
+@register_analysis("histogram")
+class HistogramPass(AnalysisPass):
+    """Application-level arrival histogram (Figure 3; 10 µs bins)."""
+
+    title = "application-level arrival histogram (Figure 3)"
+
+    def __init__(self, bin_width_s: float = 10.0e-6) -> None:
+        if bin_width_s <= 0:
+            raise ValueError("bin_width_s must be positive")
+        self.bin_width_s = float(bin_width_s)
+
+    def prepare(self, context: AnalysisContext) -> StreamingHistogram:
+        return StreamingHistogram(self.bin_width_s, unit="s")
+
+    def accumulate(self, state, shard: TimingShard, context: AnalysisContext):
+        return state.update(np.asarray(shard.columns["compute_time_s"]))
+
+    def merge(self, state, other):
+        return state.merge(other)
+
+    def finalize(self, state, context: AnalysisContext) -> FixedWidthHistogram:
+        return state.finalize()
+
+
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class NormalityResult:
+    """Streaming normality-study product (the report-facing subset).
+
+    The application-iteration level of :class:`~repro.core.normality.NormalityStudy`
+    pools samples *across* shards per iteration and is not part of the
+    feasibility report; consumers that need it can still run the in-memory
+    study on a merged dataset.
+    """
+
+    alpha: float
+    application_rejected: bool
+    application_pass_rates: Dict[str, float]
+    process_iteration_pass_rates: Dict[str, float]
+    n_groups: int
+    group_size: int
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "alpha": self.alpha,
+            "application_rejected": self.application_rejected,
+            "n_groups": self.n_groups,
+            "group_size": self.group_size,
+        }
+        for name, rate in self.process_iteration_pass_rates.items():
+            payload[f"pass_rate_{name}"] = rate
+        return payload
+
+
+@register_analysis("normality")
+class NormalityPass(AnalysisPass):
+    """§4.1 normality battery at the application and process-iteration levels."""
+
+    title = "normality battery (Table 1 pass rates, application-level verdict)"
+
+    def __init__(
+        self,
+        alpha: float = 0.05,
+        *,
+        max_application_samples: int = 5000,
+        sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+    ) -> None:
+        self.alpha = float(alpha)
+        self.max_application_samples = int(max_application_samples)
+        self.sketch_capacity = int(sketch_capacity)
+
+    def prepare(self, context: AnalysisContext) -> Dict[str, Any]:
+        return {
+            "segments": [] if context.exact else PercentileSketch(self.sketch_capacity),
+            "pass_counts": {name: 0 for name in TEST_NAMES},
+            "n_groups": 0,
+            "group_size": 0,
+        }
+
+    def accumulate(self, state, shard: TimingShard, context: AnalysisContext):
+        battery = NormalityBattery(alpha=self.alpha)
+        grouped = aggregate_shard(shard, AggregationLevel.PROCESS_ITERATION)
+        report = battery.run(grouped.values)
+        for name in TEST_NAMES:
+            state["pass_counts"][name] += int(np.sum(report.outcomes[name].passed))
+        state["n_groups"] += grouped.n_groups
+        state["group_size"] = grouped.group_size
+        app_row = aggregate_shard(shard, AggregationLevel.APPLICATION).values[0]
+        if context.exact:
+            state["segments"].append((shard.sort_key, app_row))
+        else:
+            state["segments"].update(app_row)
+        return state
+
+    def merge(self, state, other):
+        if isinstance(state["segments"], list):
+            state["segments"].extend(other["segments"])
+        else:
+            state["segments"] = state["segments"].merge(other["segments"])
+        for name in TEST_NAMES:
+            state["pass_counts"][name] += other["pass_counts"][name]
+        state["n_groups"] += other["n_groups"]
+        state["group_size"] = max(state["group_size"], other["group_size"])
+        return state
+
+    def finalize(self, state, context: AnalysisContext) -> NormalityResult:
+        if state["n_groups"] == 0:
+            raise ValueError("normality pass saw no shards")
+        battery = NormalityBattery(alpha=self.alpha)
+        if isinstance(state["segments"], list):
+            app_row = np.concatenate(_sorted_segments(state["segments"]))
+        else:
+            app_row = state["segments"].support
+        subsampled = stratified_subsample(
+            app_row[np.newaxis, :], self.max_application_samples
+        )
+        app_report = battery.run(subsampled)
+        rates = {
+            name: state["pass_counts"][name] / state["n_groups"] for name in TEST_NAMES
+        }
+        return NormalityResult(
+            alpha=self.alpha,
+            application_rejected=app_report.rejected_all(),
+            application_pass_rates=app_report.pass_rates(),
+            process_iteration_pass_rates=rates,
+            n_groups=state["n_groups"],
+            group_size=state["group_size"],
+        )
+
+
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class LaggardsResult:
+    """Streaming laggard-analysis product.
+
+    Scalar fractions are exact in both accumulation modes (they are integer
+    tallies); the gap/IQR summary statistics are exact in ``exact`` mode and
+    running-moment approximations otherwise.  ``analysis`` carries the full
+    per-group :class:`~repro.core.laggard.LaggardAnalysis` in exact mode
+    (``None`` in bounded mode, which keeps memory independent of campaign
+    size).
+    """
+
+    n_groups: int
+    laggard_count: int
+    class_counts: Dict[str, int]
+    threshold_s: float
+    wide_iqr_s: float
+    mean_gap_s: float
+    max_gap_s: float
+    mean_iqr_s: float
+    max_iqr_s: float
+    mean_median_s: float
+    analysis: Optional[LaggardAnalysis] = None
+
+    @property
+    def laggard_fraction(self) -> float:
+        return self.laggard_count / self.n_groups if self.n_groups else 0.0
+
+    def class_fraction(self, iteration_class: IterationClass) -> float:
+        if not self.n_groups:
+            return 0.0
+        return self.class_counts.get(iteration_class.value, 0) / self.n_groups
+
+    @property
+    def class_fractions(self) -> Dict[str, float]:
+        return {cls.value: self.class_fraction(cls) for cls in IterationClass}
+
+    def as_dict(self) -> Dict[str, float]:
+        payload = {
+            "laggard_fraction": self.laggard_fraction,
+            "mean_gap_ms": self.mean_gap_s * 1e3,
+            "max_gap_ms": self.max_gap_s * 1e3,
+            "mean_iqr_ms": self.mean_iqr_s * 1e3,
+            "max_iqr_ms": self.max_iqr_s * 1e3,
+            "mean_median_ms": self.mean_median_s * 1e3,
+            "threshold_ms": self.threshold_s * 1e3,
+            "n_groups": float(self.n_groups),
+        }
+        payload.update(
+            {f"class_{name}": value for name, value in self.class_fractions.items()}
+        )
+        return payload
+
+
+@register_analysis("laggards")
+class LaggardsPass(AnalysisPass):
+    """§4.2 laggard detection and iteration classification."""
+
+    title = "laggard fractions and iteration classes (§4.2, Figures 5/7)"
+
+    def __init__(
+        self,
+        threshold_s: float = DEFAULT_LAGGARD_THRESHOLD_S,
+        wide_iqr_s: float = DEFAULT_WIDE_IQR_S,
+    ) -> None:
+        if threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+        self.threshold_s = float(threshold_s)
+        self.wide_iqr_s = float(wide_iqr_s)
+
+    def prepare(self, context: AnalysisContext) -> Dict[str, Any]:
+        return {
+            "segments": [],  # exact mode only
+            "n_groups": 0,
+            "laggard_count": 0,
+            "class_counts": {cls.value: 0 for cls in IterationClass},
+            "gap": StreamingMoments(),
+            "iqr": StreamingMoments(),
+            "median": StreamingMoments(),
+        }
+
+    def accumulate(self, state, shard: TimingShard, context: AnalysisContext):
+        grouped = aggregate_shard(shard, AggregationLevel.PROCESS_ITERATION)
+        median, maximum, gap, iqr, has_laggard, classes = group_laggard_metrics(
+            grouped.values, threshold_s=self.threshold_s, wide_iqr_s=self.wide_iqr_s
+        )
+        state["n_groups"] += grouped.n_groups
+        state["laggard_count"] += int(np.sum(has_laggard))
+        for cls in classes:
+            state["class_counts"][cls.value] += 1
+        if context.exact:
+            members = list(IterationClass)
+            codes = np.array([members.index(cls) for cls in classes], dtype=np.int8)
+            state["segments"].append(
+                (
+                    shard.sort_key,
+                    (grouped.keys, median, maximum, gap, iqr, has_laggard, codes),
+                )
+            )
+        else:
+            # bounded mode: running moments instead of per-group segments
+            state["gap"].update(gap)
+            state["iqr"].update(iqr)
+            state["median"].update(median)
+        return state
+
+    def merge(self, state, other):
+        state["segments"].extend(other["segments"])
+        state["n_groups"] += other["n_groups"]
+        state["laggard_count"] += other["laggard_count"]
+        for name, count in other["class_counts"].items():
+            state["class_counts"][name] += count
+        for key in ("gap", "iqr", "median"):
+            state[key] = state[key].merge(other[key])
+        return state
+
+    def finalize(self, state, context: AnalysisContext) -> LaggardsResult:
+        if state["n_groups"] == 0:
+            raise ValueError("laggards pass saw no shards")
+        analysis: Optional[LaggardAnalysis] = None
+        if state["segments"]:
+            parts = _sorted_segments(state["segments"])
+            keys: List[Tuple[int, ...]] = []
+            for part in parts:
+                keys.extend(part[0])
+            members = list(IterationClass)
+            analysis = LaggardAnalysis(
+                keys=keys,
+                median_s=np.concatenate([p[1] for p in parts]),
+                max_s=np.concatenate([p[2] for p in parts]),
+                gap_s=np.concatenate([p[3] for p in parts]),
+                iqr_s=np.concatenate([p[4] for p in parts]),
+                has_laggard=np.concatenate([p[5] for p in parts]),
+                classes=[members[c] for p in parts for c in p[6]],
+                threshold_s=self.threshold_s,
+                wide_iqr_s=self.wide_iqr_s,
+            )
+        if analysis is not None:
+            # exact summary statistics from the re-assembled dense arrays
+            mean_gap = float(np.mean(analysis.gap_s))
+            max_gap = float(np.max(analysis.gap_s))
+            mean_iqr = float(np.mean(analysis.iqr_s))
+            max_iqr = float(np.max(analysis.iqr_s))
+            mean_median = float(np.mean(analysis.median_s))
+        else:
+            mean_gap, max_gap = state["gap"].mean, state["gap"].maximum
+            mean_iqr, max_iqr = state["iqr"].mean, state["iqr"].maximum
+            mean_median = state["median"].mean
+        return LaggardsResult(
+            n_groups=state["n_groups"],
+            laggard_count=state["laggard_count"],
+            class_counts=dict(state["class_counts"]),
+            threshold_s=self.threshold_s,
+            wide_iqr_s=self.wide_iqr_s,
+            mean_gap_s=mean_gap,
+            max_gap_s=max_gap,
+            mean_iqr_s=mean_iqr,
+            max_iqr_s=max_iqr,
+            mean_median_s=mean_median,
+            analysis=analysis,
+        )
+
+
+# ----------------------------------------------------------------------
+@register_analysis("reclaimable")
+class ReclaimablePass(AnalysisPass):
+    """§4.2 reclaimable time and idle-ratio summary."""
+
+    title = "reclaimable time and idle ratio (§4.2)"
+
+    def __init__(self, *, sketch_capacity: int = DEFAULT_SKETCH_CAPACITY) -> None:
+        self.sketch_capacity = int(sketch_capacity)
+
+    def prepare(self, context: AnalysisContext) -> Dict[str, Any]:
+        return {
+            "segments": [],  # exact mode only
+            "reclaim": StreamingMoments(),
+            "ratio": StreamingMoments(),
+            "median_sketch": PercentileSketch(self.sketch_capacity),
+            "n_threads": 0,
+        }
+
+    def accumulate(self, state, shard: TimingShard, context: AnalysisContext):
+        grouped = aggregate_shard(shard, AggregationLevel.PROCESS_ITERATION)
+        reclaim = reclaimable_time(grouped.values)
+        ratios = idle_ratio(grouped.values)
+        state["n_threads"] = grouped.group_size
+        if context.exact:
+            state["segments"].append((shard.sort_key, (reclaim, ratios)))
+        else:
+            # bounded mode: running moments and a median sketch instead of
+            # per-group segments
+            state["reclaim"].update(reclaim)
+            state["ratio"].update(ratios)
+            state["median_sketch"].update(reclaim)
+        return state
+
+    def merge(self, state, other):
+        state["segments"].extend(other["segments"])
+        state["reclaim"] = state["reclaim"].merge(other["reclaim"])
+        state["ratio"] = state["ratio"].merge(other["ratio"])
+        state["median_sketch"] = state["median_sketch"].merge(other["median_sketch"])
+        state["n_threads"] = max(state["n_threads"], other["n_threads"])
+        return state
+
+    def finalize(self, state, context: AnalysisContext) -> ReclaimableSummary:
+        if not state["segments"] and state["reclaim"].count == 0:
+            raise ValueError("reclaimable pass saw no shards")
+        n_threads = state["n_threads"]
+        if state["segments"]:
+            parts = _sorted_segments(state["segments"])
+            reclaim = np.concatenate([p[0] for p in parts])
+            ratios = np.concatenate([p[1] for p in parts])
+            return ReclaimableSummary(
+                mean_reclaimable_s=float(np.mean(reclaim)),
+                median_reclaimable_s=float(np.median(reclaim)),
+                max_reclaimable_s=float(np.max(reclaim)),
+                mean_idle_ratio=float(np.mean(ratios)),
+                mean_per_thread_idle_s=float(np.mean(reclaim) / n_threads),
+                n_groups=len(reclaim),
+                n_threads=n_threads,
+            )
+        return ReclaimableSummary(
+            mean_reclaimable_s=state["reclaim"].mean,
+            median_reclaimable_s=float(state["median_sketch"].quantile(50.0)),
+            max_reclaimable_s=state["reclaim"].maximum,
+            mean_idle_ratio=state["ratio"].mean,
+            mean_per_thread_idle_s=state["reclaim"].mean / n_threads,
+            n_groups=state["reclaim"].count,
+            n_threads=n_threads,
+        )
+
+
+# ----------------------------------------------------------------------
+@register_analysis("earlybird")
+class EarlybirdPass(AnalysisPass):
+    """Early-bird gain quantification over the deterministic strided subset.
+
+    Reproduces :meth:`ThreadTimingAnalyzer.earlybird` exactly: the global
+    group index of each shard group (via the context) determines whether it
+    lies on the evaluation stride, so the evaluated subset — and therefore
+    every mean — is identical to the in-memory path regardless of sharding.
+    Memory is bounded by ``max_groups`` in both accumulation modes.
+    """
+
+    title = "mean early-bird delivery gains (Figures 1/2 quantified)"
+
+    def __init__(
+        self,
+        model: Optional[EarlyBirdModel] = None,
+        *,
+        max_groups: int = DEFAULT_EARLYBIRD_MAX_GROUPS,
+    ) -> None:
+        if max_groups < 1:
+            raise ValueError("max_groups must be >= 1")
+        self.model = model if model is not None else EarlyBirdModel()
+        self.max_groups = int(max_groups)
+
+    def prepare(self, context: AnalysisContext) -> Dict[int, Tuple[float, ...]]:
+        return {}
+
+    def _stride(self, context: AnalysisContext) -> int:
+        return max(context.n_groups // self.max_groups, 1)
+
+    def accumulate(self, state, shard: TimingShard, context: AnalysisContext):
+        grouped = aggregate_shard(shard, AggregationLevel.PROCESS_ITERATION)
+        indices = context.group_indices(grouped.keys)
+        stride = self._stride(context)
+        selected = np.flatnonzero(indices % stride == 0)
+        if len(selected):
+            results = self.model.evaluate_groups(grouped.values[selected])
+            for row, gidx in enumerate(indices[selected]):
+                state[int(gidx)] = (
+                    float(results["improvement_s"][row]),
+                    float(results["speedup"][row]),
+                    float(results["hidden_s"][row]),
+                    float(results["potential_overlap_s"][row]),
+                )
+        return state
+
+    def merge(self, state, other):
+        state.update(other)
+        return state
+
+    def finalize(self, state, context: AnalysisContext) -> Dict[str, float]:
+        if not state:
+            raise ValueError("earlybird pass saw no shards")
+        rows = np.array([state[idx] for idx in sorted(state)])
+        return {
+            "mean_improvement_s": float(np.mean(rows[:, 0])),
+            "mean_speedup": float(np.mean(rows[:, 1])),
+            "mean_hidden_s": float(np.mean(rows[:, 2])),
+            "mean_potential_overlap_s": float(np.mean(rows[:, 3])),
+            "groups_evaluated": float(len(rows)),
+            "buffer_bytes": float(self.model.buffer_bytes),
+        }

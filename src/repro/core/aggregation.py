@@ -11,18 +11,24 @@ The paper tests normality of thread arrival times when aggregated at:
    granularity of Table 1.
 
 :func:`aggregate` turns a :class:`~repro.core.timing.TimingDataset` into a
-:class:`GroupedSamples` matrix for any of the three levels.
+:class:`GroupedSamples` matrix for any of the three levels;
+:func:`aggregate_shard` does the same for a single
+:class:`~repro.core.timing.TimingShard` without materialising a dataset —
+the group-by is a vectorised sort/``bincount``/``reshape``, no per-key
+Python loop — which is what lets the streaming analysis passes of
+:mod:`repro.analysis` consume campaign shards directly.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.timing import TimingDataset
+from repro.core.timing import TimingDataset, TimingShard
 
 
 class AggregationLevel(enum.Enum):
@@ -62,6 +68,10 @@ class GroupedSamples:
     level: AggregationLevel
     keys: List[Tuple[int, ...]]
     values: np.ndarray
+    #: lazily built key → row-index mapping (see :meth:`key_index`)
+    _index: Optional[Dict[Tuple[int, ...], int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=np.float64)
@@ -84,16 +94,19 @@ class GroupedSamples:
         return self.values * 1.0e3
 
     def group(self, key: Tuple[int, ...]) -> np.ndarray:
-        """Samples of the group identified by ``key``."""
+        """Samples of the group identified by ``key`` (O(1) after the first
+        lookup builds the key index)."""
         try:
-            idx = self.keys.index(tuple(key))
-        except ValueError as exc:
+            idx = self.key_index()[tuple(key)]
+        except KeyError as exc:
             raise KeyError(f"no group with key {key}") from exc
         return self.values[idx]
 
     def key_index(self) -> Dict[Tuple[int, ...], int]:
-        """Mapping key → row index (computed once for repeated lookups)."""
-        return {key: idx for idx, key in enumerate(self.keys)}
+        """Mapping key → row index (built lazily once, then cached)."""
+        if self._index is None:
+            self._index = {key: idx for idx, key in enumerate(self.keys)}
+        return self._index
 
     def iteration_of(self, row: int) -> int:
         """Application-iteration index of group ``row`` (last key element)."""
@@ -140,6 +153,109 @@ def aggregate(
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unsupported level {level}")
     return GroupedSamples(level=level, keys=keys, values=values)
+
+
+# per-shard grouping memo: several analysis passes group the same shard at
+# the same level within one accumulate step — the first call pays the
+# argsort, the rest hit this cache.  Keyed by object identity and evicted
+# when the shard is garbage-collected; long-lived shard holders (e.g. the
+# streaming engine folding session-cached shards) release eagerly with
+# :func:`release_shard_groups` once a shard's accumulate step is done.
+_SHARD_GROUPS: Dict[int, Dict[AggregationLevel, GroupedSamples]] = {}
+
+
+def release_shard_groups(shard: TimingShard) -> None:
+    """Drop a shard's cached groupings (no-op if none are cached).
+
+    The memo otherwise lives as long as the shard object does; callers that
+    keep shards around after analysing them (cached campaign results) call
+    this to return the grouping matrices immediately.
+    """
+    _SHARD_GROUPS.pop(id(shard), None)
+
+
+def aggregate_shard(
+    shard: TimingShard, level: AggregationLevel | str
+) -> GroupedSamples:
+    """Group a single campaign shard's samples at one of the paper's levels.
+
+    The shard-streaming analogue of :func:`aggregate`: instead of scattering
+    into a dense 4-D array, the shard's rows are ordered by a composite
+    (trial, process, iteration, thread) code — one vectorised ``argsort``
+    plus a ``bincount`` size check, no per-key Python loop — and reshaped
+    into the ``(n_groups, group_size)`` matrix.  Row order inside each group
+    is thread-ascending, exactly matching the dense path, so per-group
+    statistics computed from shard aggregation are bit-identical to the
+    merged-dataset path.
+
+    Groups are *local to the shard*: a (trial, process) shard yields one
+    process-iteration group per iteration, and per-iteration groups covering
+    only that shard's samples (the streaming passes merge those partials
+    across shards).
+    """
+    if isinstance(level, str):
+        level = AggregationLevel.from_name(level)
+    cached = _SHARD_GROUPS.get(id(shard))
+    if cached is None:
+        cached = _SHARD_GROUPS[id(shard)] = {}
+        weakref.finalize(shard, _SHARD_GROUPS.pop, id(shard), None)
+    if level in cached:
+        return cached[level]
+    cached[level] = grouped = _aggregate_shard(shard, level)
+    return grouped
+
+
+def _aggregate_shard(shard: TimingShard, level: AggregationLevel) -> GroupedSamples:
+    columns: Mapping[str, np.ndarray] = shard.columns
+    trial = np.asarray(columns["trial"], dtype=np.int64)
+    process = np.asarray(columns["process"], dtype=np.int64)
+    iteration = np.asarray(columns["iteration"], dtype=np.int64)
+    thread = np.asarray(columns["thread"], dtype=np.int64)
+    values = np.asarray(columns["compute_time_s"], dtype=np.float64)
+
+    if level is AggregationLevel.APPLICATION:
+        key_columns: Tuple[np.ndarray, ...] = ()
+        minor_columns: Tuple[np.ndarray, ...] = (trial, process, iteration, thread)
+    elif level is AggregationLevel.APPLICATION_ITERATION:
+        key_columns = (iteration,)
+        minor_columns = (trial, process, thread)
+    elif level is AggregationLevel.PROCESS_ITERATION:
+        key_columns = (trial, process, iteration)
+        minor_columns = (thread,)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unsupported level {level}")
+
+    # composite integer code: group key columns (major) then the remaining
+    # dense axes (minor), so one argsort lands every group contiguously with
+    # rows in the dense path's order
+    ordered = (*key_columns, *minor_columns)
+    spans = [int(col.max()) + 1 if len(col) else 1 for col in ordered]
+    code = np.zeros(len(values), dtype=np.int64)
+    for col, span in zip(ordered, spans):
+        code = code * span + col
+    order = np.argsort(code, kind="stable")
+
+    if not key_columns:
+        return GroupedSamples(
+            level=level, keys=[()], values=values[order][np.newaxis, :]
+        )
+
+    group_code = np.zeros(len(values), dtype=np.int64)
+    for col, span in zip(key_columns, spans[: len(key_columns)]):
+        group_code = group_code * span + col
+    unique_codes, inverse = np.unique(group_code, return_inverse=True)
+    sizes = np.bincount(inverse, minlength=len(unique_codes))
+    if len(set(sizes.tolist())) != 1:
+        raise ValueError(
+            "shard groups have unequal sizes; aggregation requires a dense shard"
+        )
+    group_size = int(sizes[0])
+    matrix = values[order].reshape(len(unique_codes), group_size)
+    key_starts = order[::group_size]
+    keys = [
+        tuple(int(col[row]) for col in key_columns) for row in key_starts
+    ]
+    return GroupedSamples(level=level, keys=keys, values=matrix)
 
 
 def per_iteration_samples(dataset: TimingDataset) -> np.ndarray:

@@ -11,13 +11,22 @@ application's :class:`~repro.core.timing.TimingDataset`:
 >>> analyzer.reclaimable()            # §4.2 reclaimable time / idle ratio
 >>> analyzer.earlybird()              # Figures 1 / 2 quantified
 >>> analyzer.report()                 # everything above in one object
+
+Since the analysis layer was refactored onto the streaming engine
+(:mod:`repro.analysis`), this class is a thin compatibility facade: each
+product runs the corresponding registered analysis pass in exact mode over
+the dataset wrapped as a single shard, and :meth:`report` is assembled by
+the same :func:`~repro.analysis.report.assemble_feasibility_report` the
+shard-streaming path uses — which is what makes
+``CampaignSession.analyze(analyses=...)`` bit-identical to this in-memory
+path (pinned-digest tests in ``tests/integration/test_streaming_analysis.py``).
+Campaign-scale consumers should prefer the streaming engine; this facade
+remains for interactive use on materialised datasets.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
-
-import numpy as np
 
 from repro.core.aggregation import AggregationLevel, GroupedSamples, aggregate
 from repro.core.earlybird import EarlyBirdModel
@@ -26,18 +35,17 @@ from repro.core.laggard import (
     DEFAULT_WIDE_IQR_S,
     IterationClass,
     LaggardAnalysis,
-    analyze_laggards,
 )
 from repro.core.normality import NormalityStudy
-from repro.core.reclaimable import ReclaimableSummary, summarize_reclaimable
+from repro.core.reclaimable import ReclaimableSummary
 from repro.core.report import FeasibilityReport
-from repro.core.timing import TimingDataset
+from repro.core.timing import TimingDataset, TimingShard
 from repro.stats.histogram import FixedWidthHistogram, fixed_width_histogram
 from repro.stats.percentiles import DEFAULT_PERCENTILES, PercentileSeries
 
 
 class ThreadTimingAnalyzer:
-    """Per-application analysis driver.
+    """Per-application analysis driver (facade over the analysis passes).
 
     Parameters
     ----------
@@ -72,9 +80,51 @@ class ThreadTimingAnalyzer:
         )
         self._grouped: Dict[AggregationLevel, GroupedSamples] = {}
         self._normality: Optional[NormalityStudy] = None
-        self._laggards: Optional[LaggardAnalysis] = None
-        self._reclaimable: Optional[ReclaimableSummary] = None
-        self._earlybird_summary: Optional[Dict[str, float]] = None
+        self._products: Dict[str, object] = {}
+        self._shard: Optional[TimingShard] = None
+
+    # ------------------------------------------------------------------
+    # streaming-engine plumbing
+    # ------------------------------------------------------------------
+    def _dataset_shard(self) -> TimingShard:
+        """The dataset wrapped as a single shard (cached, so all passes
+        share one per-shard aggregation memo)."""
+        if self._shard is None:
+            trial = int(self.dataset.trials[0]) if self.dataset.n_trials else 0
+            self._shard = TimingShard.from_dataset(
+                self.dataset, trial=trial, process=None
+            )
+        return self._shard
+
+    def _run_pass(self, analysis_pass):
+        """Run one pass in exact mode over the dataset as a single shard."""
+        from repro.analysis import AnalysisContext
+
+        context = AnalysisContext.from_dataset(self.dataset, exact=True)
+        return analysis_pass.run([self._dataset_shard()], context)
+
+    def _product(self, name: str):
+        """Finalized product of one report pass (computed once, cached)."""
+        if name not in self._products:
+            from repro.analysis import (
+                EarlybirdPass,
+                LaggardsPass,
+                NormalityPass,
+                PercentilesPass,
+                ReclaimablePass,
+            )
+
+            factories = {
+                "percentiles": lambda: PercentilesPass(),
+                "laggards": lambda: LaggardsPass(
+                    threshold_s=self.laggard_threshold_s, wide_iqr_s=self.wide_iqr_s
+                ),
+                "reclaimable": lambda: ReclaimablePass(),
+                "normality": lambda: NormalityPass(alpha=self.alpha),
+                "earlybird": lambda: EarlybirdPass(model=self.earlybird_model),
+            }
+            self._products[name] = self._run_pass(factories[name]())
+        return self._products[name]
 
     # ------------------------------------------------------------------
     # cached building blocks
@@ -88,28 +138,24 @@ class ThreadTimingAnalyzer:
         return self._grouped[level]
 
     def normality(self) -> NormalityStudy:
-        """§4.1 normality study (lazy)."""
+        """§4.1 normality study (lazy).
+
+        Returns the full in-memory :class:`NormalityStudy` (all three
+        aggregation levels); the report's normality fields come from the
+        streaming ``normality`` pass, which agrees bit-for-bit on the levels
+        both compute.
+        """
         if self._normality is None:
             self._normality = NormalityStudy(self.dataset, alpha=self.alpha)
         return self._normality
 
     def laggards(self) -> LaggardAnalysis:
-        """§4.2 laggard analysis (lazy)."""
-        if self._laggards is None:
-            self._laggards = analyze_laggards(
-                self.grouped(AggregationLevel.PROCESS_ITERATION),
-                threshold_s=self.laggard_threshold_s,
-                wide_iqr_s=self.wide_iqr_s,
-            )
-        return self._laggards
+        """§4.2 laggard analysis (lazy, via the ``laggards`` pass)."""
+        return self._product("laggards").analysis
 
     def reclaimable(self) -> ReclaimableSummary:
-        """§4.2 reclaimable time / idle ratio summary (lazy)."""
-        if self._reclaimable is None:
-            self._reclaimable = summarize_reclaimable(
-                self.grouped(AggregationLevel.PROCESS_ITERATION)
-            )
-        return self._reclaimable
+        """§4.2 reclaimable time / idle ratio (via the ``reclaimable`` pass)."""
+        return self._product("reclaimable")
 
     # ------------------------------------------------------------------
     # figure-shaped products
@@ -118,16 +164,17 @@ class ThreadTimingAnalyzer:
         self, percentiles=DEFAULT_PERCENTILES
     ) -> PercentileSeries:
         """Per-iteration percentile trajectories in ms (Figures 4 / 6 / 8)."""
-        per_iteration = self.grouped(AggregationLevel.APPLICATION_ITERATION)
-        return PercentileSeries.from_samples(
-            per_iteration.values_ms(), percentiles, unit="ms"
-        )
+        if tuple(percentiles) == tuple(DEFAULT_PERCENTILES):
+            return self._product("percentiles")
+        from repro.analysis import PercentilesPass
+
+        return self._run_pass(PercentilesPass(tuple(percentiles)))
 
     def application_histogram(self, bin_width_s: float = 10.0e-6) -> FixedWidthHistogram:
         """Application-level arrival histogram (Figure 3; default 10 µs bins)."""
-        return fixed_width_histogram(
-            self.dataset.compute_times_s, bin_width_s, unit="s"
-        )
+        from repro.analysis import HistogramPass
+
+        return self._run_pass(HistogramPass(bin_width_s))
 
     def process_iteration_histogram(
         self, key: Tuple[int, int, int], bin_width_s: float = 50.0e-6
@@ -148,66 +195,34 @@ class ThreadTimingAnalyzer:
     # ------------------------------------------------------------------
     # early-bird quantification
     # ------------------------------------------------------------------
-    def earlybird(self, max_groups: int = 200) -> Dict[str, float]:
+    def earlybird(self, max_groups: Optional[int] = None) -> Dict[str, float]:
         """Mean early-bird gain over a deterministic sample of process-iterations.
 
         Evaluating all 16 000 groups is unnecessary for a mean; a strided
-        subset of ``max_groups`` groups is used (deterministic, no RNG).
+        subset of ``max_groups`` groups is used (deterministic, no RNG;
+        default: the earlybird pass's default subset size).
         """
-        if self._earlybird_summary is None:
-            grouped = self.grouped(AggregationLevel.PROCESS_ITERATION)
-            n = grouped.n_groups
-            stride = max(n // max_groups, 1)
-            subset = grouped.values[::stride]
-            results = self.earlybird_model.evaluate_groups(subset)
-            self._earlybird_summary = {
-                "mean_improvement_s": float(np.mean(results["improvement_s"])),
-                "mean_speedup": float(np.mean(results["speedup"])),
-                "mean_hidden_s": float(np.mean(results["hidden_s"])),
-                "mean_potential_overlap_s": float(
-                    np.mean(results["potential_overlap_s"])
-                ),
-                "groups_evaluated": float(len(subset)),
-            }
-        return self._earlybird_summary
+        if max_groups is None:
+            return self._product("earlybird")
+        from repro.analysis import EarlybirdPass
+
+        return self._run_pass(
+            EarlybirdPass(model=self.earlybird_model, max_groups=max_groups)
+        )
 
     # ------------------------------------------------------------------
     def report(self, include_earlybird: bool = True) -> FeasibilityReport:
         """Produce the full per-application feasibility report."""
-        series = self.percentile_series()
-        laggards = self.laggards()
-        reclaimable = self.reclaimable()
-        normality = self.normality()
-        iqr_stats = series.iqr_summary()
-        earlybird = self.earlybird() if include_earlybird else None
-        return FeasibilityReport(
-            application=self.dataset.application,
-            n_samples=self.dataset.n_samples,
-            n_trials=self.dataset.n_trials,
-            n_processes=self.dataset.n_processes,
-            n_iterations=self.dataset.n_iterations,
-            n_threads=self.dataset.n_threads,
-            mean_median_arrival_ms=series.mean_median(),
-            mean_iqr_ms=iqr_stats["mean"],
-            max_iqr_ms=iqr_stats["max"],
-            skew_direction=series.skew_direction(),
-            laggard_fraction=laggards.laggard_fraction,
-            laggard_threshold_ms=self.laggard_threshold_s * 1e3,
-            class_fractions={
-                cls.value: laggards.class_fraction(cls) for cls in IterationClass
-            },
-            mean_reclaimable_ms=reclaimable.mean_reclaimable_s * 1e3,
-            mean_idle_ratio=reclaimable.mean_idle_ratio,
-            application_level_rejected=normality.application_rejects_normality(),
-            process_iteration_pass_rates=normality.process_iteration_pass_rates(),
-            earlybird_mean_improvement_us=(
-                earlybird["mean_improvement_s"] * 1e6 if earlybird else 0.0
-            ),
-            earlybird_mean_speedup=(
-                earlybird["mean_speedup"] if earlybird else 1.0
-            ),
-            earlybird_buffer_bytes=(
-                self.earlybird_model.buffer_bytes if earlybird else 0
-            ),
-            extras={"metadata": dict(self.dataset.metadata)},
+        from repro.analysis import (
+            REPORT_ANALYSES,
+            AnalysisContext,
+            assemble_feasibility_report,
+        )
+
+        products = {name: self._product(name) for name in REPORT_ANALYSES}
+        if include_earlybird:
+            products["earlybird"] = self._product("earlybird")
+        context = AnalysisContext.from_dataset(self.dataset, exact=True)
+        return assemble_feasibility_report(
+            products, context, include_earlybird=include_earlybird
         )

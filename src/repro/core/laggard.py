@@ -168,7 +168,34 @@ def analyze_laggards(
         grouped = aggregate(dataset_or_groups, AggregationLevel.PROCESS_ITERATION)
     else:
         grouped = dataset_or_groups
-    values = grouped.values
+    median, maximum, gap, iqr, has_laggard, classes = group_laggard_metrics(
+        grouped.values, threshold_s=threshold_s, wide_iqr_s=wide_iqr_s
+    )
+    return LaggardAnalysis(
+        keys=list(grouped.keys),
+        median_s=median,
+        max_s=maximum,
+        gap_s=gap,
+        iqr_s=iqr,
+        has_laggard=has_laggard,
+        classes=classes,
+        threshold_s=threshold_s,
+        wide_iqr_s=wide_iqr_s,
+    )
+
+
+def group_laggard_metrics(
+    values: np.ndarray,
+    *,
+    threshold_s: float = DEFAULT_LAGGARD_THRESHOLD_S,
+    wide_iqr_s: float = DEFAULT_WIDE_IQR_S,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[IterationClass]]:
+    """Per-group laggard metrics of a ``(n_groups, n_threads)`` matrix.
+
+    Shared by :func:`analyze_laggards` and the shard-streaming laggard pass,
+    so both paths compute identical per-group values.  Returns
+    ``(median, max, gap, iqr, has_laggard, classes)``.
+    """
     median = np.median(values, axis=-1)
     maximum = np.max(values, axis=-1)
     gap = maximum - median
@@ -183,17 +210,7 @@ def analyze_laggards(
             classes.append(IterationClass.LAGGARD)
         else:
             classes.append(IterationClass.NO_LAGGARD)
-    return LaggardAnalysis(
-        keys=list(grouped.keys),
-        median_s=median,
-        max_s=maximum,
-        gap_s=gap,
-        iqr_s=iqr,
-        has_laggard=has_laggard,
-        classes=classes,
-        threshold_s=threshold_s,
-        wide_iqr_s=wide_iqr_s,
-    )
+    return median, maximum, gap, iqr, has_laggard, classes
 
 
 def classify_iterations(

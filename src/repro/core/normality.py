@@ -22,6 +22,22 @@ from repro.core.timing import TimingDataset
 from repro.stats.battery import TEST_LABELS, TEST_NAMES, NormalityBattery, NormalityReport
 
 
+def stratified_subsample(values: np.ndarray, limit: int) -> np.ndarray:
+    """Deterministic stratified subsample along the last axis.
+
+    Sorts, then takes ``limit`` evenly strided order statistics — therefore
+    independent of the input order, which is what makes the application-level
+    normality verdict identical between the in-memory path (dense row order)
+    and the shard-streaming path (shards concatenated in merge order).
+    """
+    n = values.shape[-1]
+    if n <= limit:
+        return values
+    stride = n / limit
+    idx = np.floor(np.arange(limit) * stride).astype(np.int64)
+    return np.sort(values, axis=-1)[..., idx]
+
+
 @dataclass
 class LevelResult:
     """Battery outcome at one aggregation level."""
@@ -78,12 +94,7 @@ class NormalityStudy:
     # ------------------------------------------------------------------
     def _subsample(self, values: np.ndarray, limit: int) -> np.ndarray:
         """Deterministic stratified subsample along the last axis."""
-        n = values.shape[-1]
-        if n <= limit:
-            return values
-        stride = n / limit
-        idx = np.floor(np.arange(limit) * stride).astype(np.int64)
-        return np.sort(values, axis=-1)[..., idx]
+        return stratified_subsample(values, limit)
 
     def level_result(self, level: AggregationLevel | str) -> LevelResult:
         """Battery outcome at ``level`` (computed lazily, cached)."""

@@ -52,6 +52,22 @@ def _run_shard_task(
     return backend_cls().run_shard(config, spec, RandomStreams(config.seed))
 
 
+def _map_shard_task(
+    backend_cls: Type["CampaignBackend"],
+    config: "CampaignConfig",
+    spec: "ShardSpec",
+    mapper,
+):
+    """Worker entry point for :meth:`ShardExecutor.map_shards`.
+
+    Runs the shard *and* applies ``mapper`` to it inside the worker, so only
+    the mapped result (e.g. small analysis-pass partial states) travels back
+    to the parent — the shard's sample arrays never cross the process
+    boundary.
+    """
+    return mapper(_run_shard_task(backend_cls, config, spec))
+
+
 class ShardExecutor:
     """Runs a backend's shards, serially or on a worker pool.
 
@@ -93,42 +109,72 @@ class ShardExecutor:
         return ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
     # ------------------------------------------------------------------
-    def iter_shards(
-        self, backend: "CampaignBackend", config: "CampaignConfig"
-    ) -> Iterator[TimingShard]:
-        """Yield the campaign's shards in serial (trial-major) order.
+    def _iter_mapped(
+        self, backend: "CampaignBackend", config: "CampaignConfig", mapper
+    ) -> Iterator[tuple]:
+        """Shared driver behind :meth:`iter_shards` and :meth:`map_shards`:
+        run every shard (applying ``mapper`` where it was produced when one
+        is given) and yield ``(spec, result)`` in serial order.
 
-        With a pool, all shards are submitted up front and yielded in
-        submission order as they complete, so downstream consumers see the
-        deterministic serial order while the pool stays saturated.
+        With a pool, all shards are submitted through a bounded in-flight
+        window — keeping the pool saturated (plus slack for head-of-line
+        blocking) without retaining every completed result, so a slow
+        consumer holds at most ~2*workers results, not the whole campaign —
+        and yielded in submission order as they complete.
         """
         specs = backend.shard_specs(config)
         workers = self._resolve_workers(config, len(specs))
         if workers <= 1:
-            yield from backend.iter_shards(config)
+            # defer to the backend's own serial driver so overrides of
+            # iter_shards (e.g. replaying pre-recorded shards) are honoured
+            for spec, shard in zip(specs, backend.iter_shards(config)):
+                yield spec, (shard if mapper is None else mapper(shard))
             return
         backend_cls = type(backend)
+
+        def submit(pool, spec):
+            if mapper is None:
+                return pool.submit(_run_shard_task, backend_cls, config, spec)
+            return pool.submit(_map_shard_task, backend_cls, config, spec, mapper)
+
         with self._make_pool(workers) as pool:
-            # bounded in-flight window: keep the pool saturated (plus slack
-            # for head-of-line blocking) without retaining every completed
-            # shard — a slow consumer holds at most ~2*workers shards, not
-            # the whole campaign
             spec_iter = iter(specs)
             pending = deque(
-                pool.submit(_run_shard_task, backend_cls, config, spec)
+                (spec, submit(pool, spec))
                 for spec in itertools.islice(spec_iter, 2 * workers)
             )
             try:
                 while pending:
-                    shard = pending.popleft().result()
-                    for spec in itertools.islice(spec_iter, 1):
-                        pending.append(
-                            pool.submit(_run_shard_task, backend_cls, config, spec)
-                        )
-                    yield shard
+                    spec, future = pending.popleft()
+                    result = future.result()
+                    for next_spec in itertools.islice(spec_iter, 1):
+                        pending.append((next_spec, submit(pool, next_spec)))
+                    yield spec, result
             finally:
-                for future in pending:
+                for _, future in pending:
                     future.cancel()
+
+    def iter_shards(
+        self, backend: "CampaignBackend", config: "CampaignConfig"
+    ) -> Iterator[TimingShard]:
+        """Yield the campaign's shards in serial (trial-major) order."""
+        for _, shard in self._iter_mapped(backend, config, None):
+            yield shard
+
+    def map_shards(
+        self, backend: "CampaignBackend", config: "CampaignConfig", mapper
+    ) -> Iterator[tuple]:
+        """Apply ``mapper`` to every shard, yielding ``(spec, result)`` pairs
+        in serial (trial-major) order.
+
+        With a pool, the mapping runs inside the workers
+        (:func:`_map_shard_task`), so a mapper that reduces each shard to a
+        small summary — the streaming analysis engine's per-pass partial
+        states — keeps the parent's memory bounded: shard sample arrays are
+        produced, consumed and dropped worker-side.  ``mapper`` must be
+        picklable for the process-pool mode.
+        """
+        return self._iter_mapped(backend, config, mapper)
 
     def run(
         self, backend: "CampaignBackend", config: "CampaignConfig"

@@ -13,17 +13,27 @@ Registered scenarios (machine × noise × application × schedule recipes from
     python -m repro --list-scenarios
     python -m repro --scenario manzano-default --scale smoke --output results/
     python -m repro --machine cloudvm --schedule dynamic --apps minife
+
+``--analyses`` switches to the streaming analysis engine: the campaign's
+shards are folded through the named registered passes (see
+``--list-analyses``) without ever materialising the merged dataset, and the
+pass products land in ``analyses_<app>.json``::
+
+    python -m repro --analyses percentiles laggards reclaimable normality
+    python -m repro --list-analyses --porcelain
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis import REPORT_ANALYSES, analysis_title, available_analyses
 from repro.core.analyzer import ThreadTimingAnalyzer
 from repro.core.timing import TimingDataset
 from repro.experiments.backends import available_backends
@@ -132,6 +142,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="OpenMP schedule clause override ('static', 'dynamic,4', 'guided')",
     )
     parser.add_argument(
+        "--analyses",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="run the campaign through the streaming analysis engine: fold "
+        "shards through these registered passes (see --list-analyses) "
+        "without materialising the merged dataset, writing "
+        "analyses_<app>.json; 'all' selects every registered pass",
+    )
+    parser.add_argument(
+        "--sketch",
+        action="store_true",
+        help="with --analyses: use bounded-memory sketch accumulators "
+        "instead of the exact (bit-identical) ones",
+    )
+    parser.add_argument(
+        "--list-analyses",
+        action="store_true",
+        help="print the registered analysis passes and exit",
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="print the registered scenario catalog and exit",
@@ -205,6 +236,12 @@ def _configure(args: argparse.Namespace, application: str) -> CampaignConfig:
 
 
 def _print_catalogs(args: argparse.Namespace) -> None:
+    if args.list_analyses:
+        for name in available_analyses():
+            if args.porcelain:
+                print(name)
+            else:
+                print(f"{name:14s} {analysis_title(name)}")
     if args.list_scenarios:
         for name in available_scenarios():
             if args.porcelain:
@@ -233,6 +270,54 @@ def _print_catalogs(args: argparse.Namespace) -> None:
             print(name)
         if not args.porcelain:
             print("profiles: " + ", ".join(available_noise_profiles()))
+
+
+def _product_payload(product) -> object:
+    """JSON-friendly view of one analysis-pass product."""
+    for attr in ("to_dict", "as_dict"):
+        method = getattr(product, attr, None)
+        if callable(method):
+            return method()
+    if isinstance(product, dict):
+        return product
+    return repr(product)
+
+
+def _run_streaming_analyses(
+    args: argparse.Namespace, applications: Sequence[str], output: Path
+) -> int:
+    """``--analyses`` mode: stream shards through passes, no merged dataset."""
+    analyses = (
+        "all" if args.analyses == ["all"] else list(args.analyses)
+    )
+    report_lines: List[str] = []
+    for application in applications:
+        config = _configure(args, application)
+        started = time.perf_counter()
+        session = CampaignSession(config, cache_dir=args.cache_dir)
+        results = session.analyze(
+            application, analyses=analyses, exact=not args.sketch
+        )
+        elapsed = time.perf_counter() - started
+        mode = "sketch" if args.sketch else "exact"
+        print(
+            f"[repro-campaign] analysed {application} via streaming passes "
+            f"[{', '.join(sorted(results))}] in {elapsed:.1f} s "
+            f"({mode} mode, {config.max_workers} worker(s))",
+            flush=True,
+        )
+        payload = {name: _product_payload(results[name]) for name in sorted(results)}
+        path = output / f"analyses_{application}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        if all(name in results for name in REPORT_ANALYSES):
+            report = results.report(include_earlybird="earlybird" in results)
+            report_lines.append("\n" + report.summary())
+    if report_lines:
+        report = "\n".join(report_lines)
+        (output / "report.txt").write_text(report)
+        print(report)
+    print(f"\n[repro-campaign] wrote streaming analysis products to {output}/")
+    return 0
 
 
 def _write_figures(datasets: Dict[str, TimingDataset], output: Path, report_lines: List[str]) -> None:
@@ -269,7 +354,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-campaign`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.list_scenarios or args.list_machines or args.list_noise_sources:
+    if (
+        args.list_scenarios
+        or args.list_machines
+        or args.list_noise_sources
+        or args.list_analyses
+    ):
         _print_catalogs(args)
         return 0
     if args.scenario is not None:
@@ -286,6 +376,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         applications = args.apps or ["minife", "minimd", "miniqmc"]
     output: Path = args.output
     output.mkdir(parents=True, exist_ok=True)
+    if args.analyses is not None:
+        if args.save_datasets:
+            # the streaming engine never materialises the datasets the flag
+            # would save — reject instead of silently dropping it
+            parser.error(
+                "--save-datasets conflicts with --analyses (the streaming "
+                "engine never materialises the merged datasets)"
+            )
+        return _run_streaming_analyses(args, applications, output)
     datasets: Dict[str, TimingDataset] = {}
     report_lines: List[str] = []
     for application in applications:

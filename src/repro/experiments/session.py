@@ -17,6 +17,12 @@ keeps the shards and merges them into a dense
 exposes the same execution as a lazy shard iterator for memory-bounded
 consumers.
 
+``analyze(analyses=[...])`` drives the streaming analysis engine
+(:mod:`repro.analysis`): the campaign's shards are folded through the
+requested registered passes — in parallel, with only per-pass partial
+states returning from the workers — and the merged dataset is never
+materialised.
+
 With a ``cache_dir``, results are cached on disk through
 :mod:`repro.io.dataset_io`, keyed by a stable hash of everything that
 determines the samples (:func:`config_cache_key`) — re-running an identical
@@ -29,7 +35,16 @@ import dataclasses
 import hashlib
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.analyzer import ThreadTimingAnalyzer
 from repro.core.timing import TimingDataset, TimingShard
@@ -37,6 +52,7 @@ from repro.experiments.backends import CampaignBackend, get_backend
 from repro.experiments.executor import ShardExecutor
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.analysis import AnalysisPass, AnalysisResults
     from repro.core.report import FeasibilityReport
     from repro.experiments.config import CampaignConfig
 
@@ -120,6 +136,15 @@ class CampaignResult:
         if self._dataset is None:
             self._dataset = TimingDataset.merge(self._shards, metadata=self._metadata)
         return self._dataset
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        """Campaign metadata, without forcing a shard merge."""
+        if self._metadata is not None:
+            return dict(self._metadata)
+        if self._dataset is not None:
+            return dict(self._dataset.metadata)
+        return {}
 
     @property
     def n_samples(self) -> int:
@@ -283,10 +308,55 @@ class CampaignSession:
             result = self.run(application)
         return result.dataset
 
-    def analyze(self, application: Optional[str] = None) -> ThreadTimingAnalyzer:
-        """Analyzer for ``application`` (running the campaign if needed)."""
+    def analyze(
+        self,
+        application: Optional[str] = None,
+        *,
+        analyses: Union[None, str, Iterable[Union[str, "AnalysisPass"]]] = None,
+        exact: bool = True,
+    ) -> Union[ThreadTimingAnalyzer, "AnalysisResults"]:
+        """Analyse ``application``'s campaign.
+
+        Without ``analyses`` this returns the legacy in-memory
+        :class:`~repro.core.analyzer.ThreadTimingAnalyzer` over the merged
+        dataset (running the campaign first if needed).
+
+        With ``analyses`` — registered pass names, pass instances, or
+        ``"all"`` — the campaign's shards are streamed through the analysis
+        engine instead: per-shard accumulation happens in the executor
+        workers (``config.max_workers``), only the per-pass partial states
+        are merged in the parent, and the merged dataset is never built.
+        If this session already ran the application's campaign, the cached
+        shards are re-used instead of re-executing it.  Returns the
+        :class:`~repro.analysis.AnalysisResults`.  ``exact`` selects the
+        bit-identical accumulators (default; exact percentiles/normality
+        keep sample-sized state) versus the bounded-memory sketches
+        (``exact=False``).
+        """
         config = self.config_for(application)
         result = self._results.get(config.application)
+        if analyses is not None:
+            from repro.analysis import (
+                AnalysisContext,
+                run_analyses,
+                run_campaign_analyses,
+            )
+
+            if result is not None:
+                # the campaign already ran in this session — fold its shards
+                # through the passes instead of re-executing it
+                context = AnalysisContext.from_config(
+                    config, exact=exact, metadata=result.metadata
+                )
+                return run_analyses(result.shards, analyses, context)
+            backend = get_backend(config.backend)
+            return run_campaign_analyses(
+                backend,
+                config,
+                analyses,
+                executor=self._executor(),
+                exact=exact,
+            )
         if result is None:
             result = self.run(application)
         return result.analyze()

@@ -27,6 +27,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 
+def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sums of contiguous blocks, in one ``np.add.reduceat`` call.
+
+    ``offsets`` has ``n_segments + 1`` monotone entries covering
+    ``values[offsets[0]:offsets[-1]]``; segment ``k`` is
+    ``values[offsets[k]:offsets[k+1]]``.  Empty segments (``offsets[k] ==
+    offsets[k+1]``) sum to zero — ``np.add.reduceat`` alone would return the
+    element *at* the boundary for those, so they are masked out explicitly.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.diff(offsets)
+    if np.any(sizes < 0):
+        raise ValueError("offsets must be monotonically non-decreasing")
+    out = np.zeros(len(sizes), dtype=np.float64)
+    nonempty = sizes > 0
+    if nonempty.any():
+        # slice to the covered range (reduceat would otherwise fold any
+        # tail beyond offsets[-1] into the last segment); dropping empty
+        # segments keeps the remaining starts strictly increasing and
+        # contiguous, exactly what reduceat expects
+        arr = np.asarray(values, dtype=np.float64)[: offsets[-1]]
+        out[nonempty] = np.add.reduceat(arr, offsets[:-1][nonempty])
+    return out
+
+
 @dataclass
 class ScheduleOutcome:
     """Result of replaying a schedule against a per-item cost vector.
@@ -96,16 +121,23 @@ class StaticSchedule(LoopSchedule):
             raise ValueError("chunk must be >= 1")
         self.chunk = chunk
 
+    @staticmethod
+    def _block_offsets(n_items: int, n_threads: int) -> np.ndarray:
+        """Boundaries of the ``n_threads`` contiguous near-equal blocks —
+        the single source of the chunk-less split policy, shared by
+        :meth:`static_assignment` and :meth:`simulate`."""
+        base = n_items // n_threads
+        remainder = n_items % n_threads
+        sizes = np.full(n_threads, base, dtype=np.int64)
+        sizes[:remainder] += 1
+        return np.concatenate(([0], np.cumsum(sizes)))
+
     def static_assignment(self, n_items: int, n_threads: int) -> List[np.ndarray]:
         if n_items < 0:
             raise ValueError("n_items must be non-negative")
         indices = np.arange(n_items)
         if self.chunk is None:
-            base = n_items // n_threads
-            remainder = n_items % n_threads
-            sizes = np.full(n_threads, base, dtype=np.int64)
-            sizes[:remainder] += 1
-            offsets = np.concatenate(([0], np.cumsum(sizes)))
+            offsets = self._block_offsets(n_items, n_threads)
             return [
                 indices[offsets[t] : offsets[t + 1]] for t in range(n_threads)
             ]
@@ -124,7 +156,18 @@ class StaticSchedule(LoopSchedule):
     def simulate(self, costs: np.ndarray, n_threads: int) -> ScheduleOutcome:
         arr = self._validate(costs, n_threads)
         assignment = self.static_assignment(len(arr), n_threads)
-        busy = np.array([float(arr[idx].sum()) for idx in assignment])
+        if self.chunk is None:
+            # contiguous blocks: one vectorised reduceat instead of a
+            # per-thread Python summation loop
+            busy = segment_sums(arr, self._block_offsets(len(arr), n_threads))
+        else:
+            # round-robin chunks: per-chunk sums via reduceat, scattered to
+            # their dealt thread
+            starts = np.arange(0, len(arr), self.chunk, dtype=np.int64)
+            offsets = np.concatenate((starts, [len(arr)]))
+            chunk_sums = segment_sums(arr, offsets)
+            busy = np.zeros(n_threads)
+            np.add.at(busy, np.arange(len(chunk_sums)) % n_threads, chunk_sums)
         chunks = [
             (t, int(idx[0]), len(idx)) for t, idx in enumerate(assignment) if len(idx)
         ]
@@ -144,25 +187,26 @@ class _WorkQueueSchedule(LoopSchedule):
         arr = self._validate(costs, n_threads)
         n_items = len(arr)
         sizes = self._chunk_sizes(n_items, n_threads)
+        # clamp the chunk boundaries to the item count and pre-sum every
+        # chunk in one vectorised reduceat
+        bounds = np.minimum(np.concatenate(([0], np.cumsum(sizes))), n_items)
+        chunk_costs = segment_sums(arr, bounds)
         # priority queue of (available_time, thread); ties broken by thread id
         heap = [(0.0, t) for t in range(n_threads)]
         heapq.heapify(heap)
         assignment: List[List[np.ndarray]] = [[] for _ in range(n_threads)]
         busy = np.zeros(n_threads)
         chunks: List[Tuple[int, int, int]] = []
-        cursor = 0
-        for size in sizes:
-            end = min(cursor + size, n_items)
+        for k in range(len(sizes)):
+            cursor, end = int(bounds[k]), int(bounds[k + 1])
             if end <= cursor:
                 break
             available, thread = heapq.heappop(heap)
-            idx = np.arange(cursor, end)
-            cost = float(arr[idx].sum())
-            assignment[thread].append(idx)
+            cost = float(chunk_costs[k])
+            assignment[thread].append(np.arange(cursor, end))
             busy[thread] += cost
             chunks.append((thread, cursor, end - cursor))
             heapq.heappush(heap, (available + cost, thread))
-            cursor = end
         merged = [
             np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
             for parts in assignment

@@ -17,6 +17,9 @@ Public entry points
   pass rates the way Table 1 does.
 * :mod:`~repro.stats.percentiles` / :mod:`~repro.stats.histogram` — the
   percentile-plot and fixed-bin-width histogram primitives behind Figures 3–9.
+* :mod:`~repro.stats.streaming` / :mod:`~repro.stats.sketch` — mergeable
+  one-pass accumulators (moments, lattice histograms, percentile sketches)
+  behind the shard-streaming analysis passes of :mod:`repro.analysis`.
 """
 
 from repro.stats.anderson import AndersonDarlingResult, anderson_darling
@@ -26,6 +29,8 @@ from repro.stats.histogram import FixedWidthHistogram, fixed_width_histogram
 from repro.stats.moments import kurtosis, skewness, standardize
 from repro.stats.percentiles import PercentileSeries, iqr, percentile_table
 from repro.stats.shapiro import ShapiroWilkResult, shapiro_wilk
+from repro.stats.sketch import P2Quantile, PercentileSketch
+from repro.stats.streaming import StreamingHistogram, StreamingMoments
 
 __all__ = [
     "dagostino_k2",
@@ -47,4 +52,8 @@ __all__ = [
     "PercentileSeries",
     "fixed_width_histogram",
     "FixedWidthHistogram",
+    "StreamingMoments",
+    "StreamingHistogram",
+    "P2Quantile",
+    "PercentileSketch",
 ]

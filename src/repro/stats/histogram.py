@@ -77,6 +77,50 @@ class FixedWidthHistogram:
             "unit": self.unit,
         }
 
+    def merge(self, other: "FixedWidthHistogram") -> "FixedWidthHistogram":
+        """Union of two histograms on the same bin lattice (exact counts).
+
+        Both histograms must share the bin width and have edges on the same
+        absolute lattice (``fixed_width_histogram``'s default origin —
+        ``floor(min / width) * width`` — guarantees this), so per-shard
+        histograms of one campaign merge without any rebinning: counts are
+        added on the common integer grid.
+        """
+        width = self.bin_width
+        if abs(width - other.bin_width) > 1e-15 * max(width, 1.0):
+            raise ValueError("histograms must share a bin width to merge")
+        shift = (other.edges[0] - self.edges[0]) / width
+        offset = int(round(shift))
+        if abs(shift - offset) > 1e-6:
+            raise ValueError("histogram edges are not on a common lattice")
+        lo = min(0, offset)
+        hi = max(self.n_bins, offset + other.n_bins)
+        counts = np.zeros(hi - lo, dtype=self.counts.dtype)
+        counts[-lo : -lo + self.n_bins] += self.counts
+        counts[offset - lo : offset - lo + other.n_bins] += other.counts
+        origin = min(self.edges[0], other.edges[0])
+        edges = origin + width * np.arange(len(counts) + 1)
+        return FixedWidthHistogram(
+            edges=edges, counts=counts, bin_width=width, unit=self.unit
+        )
+
+
+def lattice_layout(lo: float, hi: float, bin_width: float):
+    """Grid of the default (lattice-aligned) histogram covering ``[lo, hi]``.
+
+    Returns ``(first_index, origin, n_bins)`` where ``first_index`` is the
+    integer lattice index of the first bin (``floor(lo / width)``) and the
+    grid is wide enough that every lattice index up to ``floor(hi / width)``
+    fits.  A pure function of ``(lo, hi, bin_width)``, shared by
+    :func:`fixed_width_histogram` and the streaming accumulator so both
+    derive identical edges from identical extremes.
+    """
+    first = int(np.floor(lo / bin_width))
+    origin = first * bin_width
+    last = int(np.floor(hi / bin_width))
+    n_bins = max(int(np.ceil((hi - origin) / bin_width)) + 1, last - first + 1)
+    return first, origin, n_bins
+
 
 def fixed_width_histogram(
     samples,
@@ -96,7 +140,13 @@ def fixed_width_histogram(
         Bin width in the same unit as ``samples``.
     origin:
         Left edge of the first bin; defaults to ``floor(min / width) * width``
-        so edges land on multiples of the bin width.
+        so edges land on multiples of the bin width.  With the default,
+        every sample is binned by its *integer lattice index*
+        (``floor(x / width)``) — a per-sample rule independent of the other
+        samples, which is what makes histograms of disjoint sample subsets
+        merge exactly into the pooled histogram (samples exactly on a bin
+        boundary would otherwise straddle it depending on each subset's
+        floating-point edge values).
     unit:
         Unit label carried into the result.
     max_bins:
@@ -110,7 +160,18 @@ def fixed_width_histogram(
     lo = float(arr.min())
     hi = float(arr.max())
     if origin is None:
-        origin = np.floor(lo / bin_width) * bin_width
+        first, origin, n_bins = lattice_layout(lo, hi, bin_width)
+        if n_bins > max_bins:
+            raise ValueError(
+                f"{n_bins} bins requested (width {bin_width}, range "
+                f"{hi - origin:g}); check the unit of bin_width"
+            )
+        edges = origin + bin_width * np.arange(n_bins + 1)
+        indices = np.floor(arr / bin_width).astype(np.int64) - first
+        counts = np.bincount(indices, minlength=n_bins)
+        return FixedWidthHistogram(
+            edges=edges, counts=counts, bin_width=float(bin_width), unit=unit
+        )
     if origin > lo:
         raise ValueError("origin must not exceed the smallest sample")
     n_bins = int(np.ceil((hi - origin) / bin_width)) + 1

@@ -1,0 +1,209 @@
+"""Quantile sketches: P² marker estimation and a mergeable percentile sketch.
+
+The streaming analysis passes need per-group percentiles without holding the
+merged campaign in memory.  Two tools are provided:
+
+* :class:`P2Quantile` — the classic Jain/Chlamtac P² estimator: five markers
+  tracking one quantile of a stream in O(1) memory.  It is *not* mergeable
+  (marker positions depend on arrival order), so the shard-parallel passes
+  use it only for single-stream consumers; it is exposed here because it is
+  the textbook baseline the mergeable sketch is validated against.
+* :class:`PercentileSketch` — the accumulator the passes actually use.  In
+  ``exact`` mode it stores every sample (the bit-identical fallback: a
+  quantile query equals ``np.percentile`` over the pooled samples,
+  regardless of shard order).  In compressed mode it keeps a bounded,
+  sorted support of at most ``capacity`` values: updates and merges
+  merge-sort the incoming values in and, when over capacity, recompress to
+  evenly spaced order statistics (always retaining the exact minimum and
+  maximum).  Quantile error is bounded by the local quantile spacing,
+  roughly ``1 / capacity`` of rank — documented tolerance, checked in the
+  test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² single-quantile estimator (five markers).
+
+    >>> sketch = P2Quantile(0.5)
+    >>> for x in data: sketch.update(x)
+    >>> sketch.value  # approximate median
+    """
+
+    __slots__ = ("q", "n", "_initial", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        self.q = float(q)
+        self.n = 0
+        self._initial: List[float] = []
+        self._heights = np.zeros(5)
+        self._positions = np.arange(1.0, 6.0)
+        self._desired = np.array([1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0])
+        self._rates = np.array([0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0])
+
+    # ------------------------------------------------------------------
+    def update(self, value: float) -> "P2Quantile":
+        """Observe one sample (returns ``self``)."""
+        x = float(value)
+        self.n += 1
+        if self.n <= 5:
+            self._initial.append(x)
+            if self.n == 5:
+                self._heights = np.sort(np.array(self._initial))
+            return self
+        heights = self._heights
+        if x < heights[0]:
+            heights[0] = x
+            cell = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            cell = 3
+        else:
+            cell = int(np.searchsorted(heights, x, side="right")) - 1
+            cell = min(cell, 3)
+        self._positions[cell + 1 :] += 1.0
+        self._desired += self._rates
+        # adjust the three interior markers with the parabolic (P²) formula
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            left = self._positions[i] - self._positions[i - 1]
+            right = self._positions[i + 1] - self._positions[i]
+            if (d >= 1.0 and right > 1.0) or (d <= -1.0 and left > 1.0):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                self._positions[i] += step
+        return self
+
+    def update_batch(self, values: Sequence[float]) -> "P2Quantile":
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.update(float(value))
+        return self
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + d / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + d) * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - d) * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> float:
+        """Current estimate of the tracked quantile."""
+        if self.n == 0:
+            raise ValueError("no samples observed")
+        if self.n <= 5:
+            return float(
+                np.percentile(np.array(self._initial), 100.0 * self.q)
+            )
+        return float(self._heights[2])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"P2Quantile(q={self.q}, n={self.n})"
+
+
+class PercentileSketch:
+    """Mergeable bounded-support quantile sketch with an exact fallback.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained support values in compressed mode.  While
+        the total sample count stays at or below the capacity the sketch *is*
+        exact.
+    exact:
+        Keep every sample (unbounded memory, bit-identical quantiles —
+        ``quantile`` equals ``np.percentile`` over the pooled samples
+        independent of shard order).
+    """
+
+    __slots__ = ("capacity", "exact", "n", "_support")
+
+    def __init__(self, capacity: int = 2048, *, exact: bool = False) -> None:
+        if capacity < 8:
+            raise ValueError("capacity must be >= 8")
+        self.capacity = int(capacity)
+        self.exact = bool(exact)
+        self.n = 0
+        self._support = np.empty(0, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def update(self, samples) -> "PercentileSketch":
+        """Fold a batch of samples in (returns ``self``)."""
+        arr = np.asarray(samples, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return self
+        self.n += int(arr.size)
+        if self.exact:
+            self._support = np.concatenate([self._support, arr])
+            return self
+        self._support = np.sort(np.concatenate([self._support, arr]))
+        self._compress()
+        return self
+
+    def merge(self, other: "PercentileSketch") -> "PercentileSketch":
+        """New sketch summarising the union of both sample sets."""
+        if self.exact != other.exact:
+            raise ValueError("cannot merge exact and compressed sketches")
+        merged = PercentileSketch(
+            min(self.capacity, other.capacity), exact=self.exact
+        )
+        merged.n = self.n + other.n
+        if self.exact:
+            merged._support = np.concatenate([self._support, other._support])
+            return merged
+        merged._support = np.sort(np.concatenate([self._support, other._support]))
+        merged._compress()
+        return merged
+
+    def _compress(self) -> None:
+        support = self._support
+        if len(support) <= self.capacity:
+            return
+        # evenly spaced order statistics over the sorted support, pinning the
+        # exact extremes so min/max queries stay exact
+        idx = np.round(np.linspace(0, len(support) - 1, self.capacity)).astype(np.int64)
+        self._support = support[idx]
+
+    # ------------------------------------------------------------------
+    def quantile(self, percentile) -> np.ndarray:
+        """Approximate percentile(s) of the accumulated samples (0..100).
+
+        Exact mode returns exactly ``np.percentile`` of the pooled samples.
+        """
+        if self.n == 0:
+            raise ValueError("no samples observed")
+        return np.percentile(self._support, percentile)
+
+    @property
+    def support(self) -> np.ndarray:
+        """The retained (sorted in compressed mode) support values."""
+        return self._support
+
+    @property
+    def minimum(self) -> float:
+        return float(self._support.min())
+
+    @property
+    def maximum(self) -> float:
+        return float(self._support.max())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "exact" if self.exact else f"capacity={self.capacity}"
+        return f"PercentileSketch(n={self.n}, {mode})"

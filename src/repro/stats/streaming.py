@@ -1,0 +1,259 @@
+"""One-pass, mergeable accumulators for sharded campaign analysis.
+
+The streaming analysis engine (:mod:`repro.analysis`) folds campaign shards
+into per-pass accumulators instead of materialising the merged
+:class:`~repro.core.timing.TimingDataset`.  That requires *mergeable*
+summaries: statistics that can be computed per shard and combined in any
+order without revisiting the samples.  This module provides two of them:
+
+* :class:`StreamingMoments` — count, mean and the second-to-fourth central
+  moment sums, updated one batch at a time and merged with Chan's parallel
+  update formulas (the higher-moment generalisation due to Pébay).  Exposes
+  the same "biased" skewness/kurtosis definitions as
+  :mod:`repro.stats.moments`.
+* :class:`StreamingHistogram` — fixed-bin-width counts on the absolute
+  lattice ``k * bin_width``.  Because every
+  :func:`~repro.stats.histogram.fixed_width_histogram` aligns its origin to
+  that lattice (``origin = floor(min / width) * width``), per-shard
+  histograms merge *exactly*: bin counts are integers on a shared grid, and
+  the finalised histogram reproduces the edges the merged-dataset call would
+  have produced (the exact minimum and maximum are tracked alongside the
+  counts).
+
+Percentile sketches — the third mergeable primitive — live in
+:mod:`repro.stats.sketch`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.stats.histogram import (
+    FixedWidthHistogram,
+    fixed_width_histogram,
+    lattice_layout,
+)
+
+
+class StreamingMoments:
+    """Mergeable one-pass moments (count, mean, M2, M3, M4, min, max).
+
+    ``update`` folds one batch of samples in; ``merge`` combines two
+    accumulators via the pairwise update of Chan et al. (extended to the
+    third and fourth moments by Pébay), so per-shard accumulators pooled in
+    any order agree with the moments of the pooled samples to floating-point
+    accuracy.
+
+    The derived :attr:`skewness` (Fisher–Pearson ``g1``) and
+    :attr:`kurtosis` (Pearson ``b2``) match the biased definitions of
+    :mod:`repro.stats.moments`.
+    """
+
+    __slots__ = ("n", "mean", "m2", "m3", "m4", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.m3 = 0.0
+        self.m4 = 0.0
+        self.minimum = np.inf
+        self.maximum = -np.inf
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(cls, samples) -> "StreamingMoments":
+        """Accumulator equivalent to one ``update`` with ``samples``."""
+        acc = cls()
+        acc.update(samples)
+        return acc
+
+    def update(self, samples) -> "StreamingMoments":
+        """Fold a batch of samples in (vectorised; returns ``self``)."""
+        arr = np.asarray(samples, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return self
+        batch = StreamingMoments()
+        batch.n = int(arr.size)
+        batch.mean = float(arr.mean())
+        deltas = arr - batch.mean
+        sq = deltas * deltas
+        batch.m2 = float(sq.sum())
+        batch.m3 = float((sq * deltas).sum())
+        batch.m4 = float((sq * sq).sum())
+        batch.minimum = float(arr.min())
+        batch.maximum = float(arr.max())
+        self._combine(batch)
+        return self
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """New accumulator equivalent to pooling both sample sets."""
+        merged = StreamingMoments()
+        merged._combine(self)
+        merged._combine(other)
+        return merged
+
+    def _combine(self, other: "StreamingMoments") -> None:
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n = other.n
+            self.mean = other.mean
+            self.m2, self.m3, self.m4 = other.m2, other.m3, other.m4
+            self.minimum, self.maximum = other.minimum, other.maximum
+            return
+        na, nb = float(self.n), float(other.n)
+        n = na + nb
+        delta = other.mean - self.mean
+        delta_n = delta / n
+        m2 = self.m2 + other.m2 + delta * delta_n * na * nb
+        m3 = (
+            self.m3
+            + other.m3
+            + delta * delta_n * delta_n * na * nb * (na - nb)
+            + 3.0 * delta_n * (na * other.m2 - nb * self.m2)
+        )
+        m4 = (
+            self.m4
+            + other.m4
+            + delta * delta_n**3 * na * nb * (na * na - na * nb + nb * nb)
+            + 6.0 * delta_n * delta_n * (na * na * other.m2 + nb * nb * self.m2)
+            + 4.0 * delta_n * (na * other.m3 - nb * self.m3)
+        )
+        self.mean += delta_n * nb
+        self.m2, self.m3, self.m4 = m2, m3, m4
+        self.n = int(n)
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self.n
+
+    def variance(self, ddof: int = 0) -> float:
+        """Sample variance (population by default, matching the biased moments)."""
+        if self.n - ddof <= 0:
+            return 0.0
+        return self.m2 / (self.n - ddof)
+
+    def std(self, ddof: int = 0) -> float:
+        return float(np.sqrt(self.variance(ddof)))
+
+    @property
+    def skewness(self) -> float:
+        """Fisher–Pearson ``g1 = m3 / m2**1.5`` (biased central moments)."""
+        if self.n == 0 or self.m2 <= 0.0:
+            return 0.0
+        m2 = self.m2 / self.n
+        m3 = self.m3 / self.n
+        return float(m3 / np.power(m2, 1.5))
+
+    @property
+    def kurtosis(self) -> float:
+        """Pearson ``b2 = m4 / m2**2`` (subtract 3 for the Fisher form)."""
+        if self.n == 0 or self.m2 <= 0.0:
+            return 0.0
+        m2 = self.m2 / self.n
+        m4 = self.m4 / self.n
+        return float(m4 / (m2 * m2))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingMoments(n={self.n}, mean={self.mean:.6g}, "
+            f"std={self.std():.6g})"
+        )
+
+
+class StreamingHistogram:
+    """Mergeable fixed-bin-width histogram accumulator.
+
+    Per-batch histograms live on the absolute lattice ``k * bin_width``, and
+    :func:`~repro.stats.histogram.fixed_width_histogram` bins every sample
+    by its integer lattice index (``floor(x / width)``) — a per-sample rule
+    independent of the rest of the batch — so they combine *exactly*
+    through :meth:`FixedWidthHistogram.merge`: integer counts added on a
+    shared grid, regardless of how the samples were batched or in which
+    order the partials merge.  The exact minimum and maximum samples are
+    tracked alongside so :meth:`finalize` can rebuild the edges with the
+    very :func:`~repro.stats.histogram.lattice_layout` the merged-dataset
+    path uses.
+    """
+
+    __slots__ = ("bin_width", "unit", "n", "minimum", "maximum", "_hist")
+
+    def __init__(self, bin_width: float, *, unit: str = "s") -> None:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = float(bin_width)
+        self.unit = unit
+        self.n = 0
+        self.minimum = np.inf
+        self.maximum = -np.inf
+        #: running count grid (None until the first update)
+        self._hist: Optional[FixedWidthHistogram] = None
+
+    # ------------------------------------------------------------------
+    def update(self, samples) -> "StreamingHistogram":
+        """Fold a batch of samples in (returns ``self``)."""
+        arr = np.asarray(samples, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return self
+        hist = fixed_width_histogram(arr, self.bin_width, unit=self.unit)
+        self._hist = hist if self._hist is None else self._hist.merge(hist)
+        self.n += int(arr.size)
+        self.minimum = min(self.minimum, float(arr.min()))
+        self.maximum = max(self.maximum, float(arr.max()))
+        return self
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """New accumulator holding the union of both count grids."""
+        if abs(self.bin_width - other.bin_width) > 1e-15 * max(self.bin_width, 1.0):
+            raise ValueError("cannot merge streaming histograms of unequal bin width")
+        merged = StreamingHistogram(self.bin_width, unit=self.unit)
+        grids = [part._hist for part in (self, other) if part._hist is not None]
+        if len(grids) == 2:
+            merged._hist = grids[0].merge(grids[1])
+        elif grids:
+            merged._hist = grids[0]
+        merged.n = self.n + other.n
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> FixedWidthHistogram:
+        """The merged histogram, with the merged-dataset path's edges.
+
+        Edges are re-derived from the tracked global minimum/maximum with the
+        same origin/bin-count formula :func:`fixed_width_histogram` uses, so
+        the result is indistinguishable from histogramming the pooled
+        samples directly.
+        """
+        if self.n == 0 or self._hist is None:
+            raise ValueError("cannot finalize an empty streaming histogram")
+        width = self.bin_width
+        _, origin, n_bins = lattice_layout(self.minimum, self.maximum, width)
+        edges = origin + width * np.arange(n_bins + 1)
+        counts = np.zeros(n_bins, dtype=np.int64)
+        start = int(round((self._hist.edges[0] - origin) / width))
+        stop = start + self._hist.n_bins
+        # per-batch +1 bin-count slack can leave trailing (necessarily
+        # empty) grid cells beyond the global edge range — trim them
+        usable = min(stop, n_bins)
+        accumulated = np.asarray(self._hist.counts, dtype=np.int64)
+        if start < 0 or np.any(accumulated[max(usable - start, 0) :] != 0):
+            raise AssertionError("streaming histogram counts fell off the grid")
+        counts[start:usable] = accumulated[: usable - start]
+        return FixedWidthHistogram(
+            edges=edges, counts=counts, bin_width=width, unit=self.unit
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bins = self._hist.n_bins if self._hist is not None else 0
+        return (
+            f"StreamingHistogram(bin_width={self.bin_width}, n={self.n}, "
+            f"bins={bins})"
+        )

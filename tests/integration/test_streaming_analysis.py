@@ -1,0 +1,197 @@
+"""Integration: the streaming analysis engine vs the in-memory analyzer.
+
+The acceptance criterion of the analysis-layer refactor: every registered
+pass, folded over campaign shards (serially, in parallel, in any order),
+produces results identical to the legacy in-memory path.  The digests below
+pin the full ``FeasibilityReport.as_dict()`` payload (canonical JSON,
+sha256) of the seed smoke campaigns for all three applications — both the
+``ThreadTimingAnalyzer`` facade and ``CampaignSession.analyze(analyses=...)``
+must reproduce them bit-for-bit in exact mode.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisContext, run_analyses
+from repro.core.analyzer import ThreadTimingAnalyzer
+from repro.experiments.config import CampaignConfig
+from repro.experiments.runner import main as runner_main
+from repro.experiments.session import CampaignSession
+
+# sha256 of json.dumps(report.as_dict(), sort_keys=True) for the smoke
+# campaigns (seed 7, 1 trial x 2 processes x 12 iterations x 16 threads),
+# recorded when the analysis layer moved onto the streaming engine
+REPORT_DIGESTS = {
+    "minife": "9c1124f4445eb4b380dc4a6bb479a2b7e02e185eab060eb51a227eca8cece3e3",
+    "minimd": "28c4bc9cf1f7fe30d975175e3a035ca5d9508a434f63e427eca1c50c2fee331a",
+    "miniqmc": "dcd2c2333de48ece5a4f3ebdecf3352a089bd51bebcdd6580c15656897675e39",
+}
+
+
+def _digest(report) -> str:
+    blob = json.dumps(report.as_dict(), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class TestPinnedReportDigests:
+    @pytest.mark.parametrize("application", sorted(REPORT_DIGESTS))
+    def test_in_memory_report_matches_pin(self, application):
+        dataset = CampaignSession(CampaignConfig.smoke(application)).run().dataset
+        report = ThreadTimingAnalyzer(dataset).report()
+        assert _digest(report) == REPORT_DIGESTS[application]
+
+    @pytest.mark.parametrize("application", sorted(REPORT_DIGESTS))
+    def test_streaming_report_matches_pin(self, application):
+        session = CampaignSession(CampaignConfig.smoke(application))
+        results = session.analyze(analyses="all")
+        assert _digest(results.report()) == REPORT_DIGESTS[application]
+
+
+class TestStreamingEqualsInMemory:
+    def test_streaming_never_merges_but_agrees_field_for_field(self):
+        session = CampaignSession(CampaignConfig.smoke("minife"))
+        streaming = session.analyze(analyses="all").report().as_dict()
+        legacy = (
+            ThreadTimingAnalyzer(session.run().dataset).report().as_dict()
+        )
+        assert streaming == legacy
+
+    def test_parallel_workers_bit_identical_to_serial(self):
+        serial = CampaignSession(CampaignConfig.smoke("minimd")).analyze(
+            analyses="all"
+        )
+        parallel = CampaignSession(
+            CampaignConfig.smoke("minimd").parallel(2)
+        ).analyze(analyses="all")
+        assert parallel.report().as_dict() == serial.report().as_dict()
+        np.testing.assert_array_equal(
+            parallel["percentiles"].values, serial["percentiles"].values
+        )
+        np.testing.assert_array_equal(
+            parallel["histogram"].counts, serial["histogram"].counts
+        )
+
+    def test_event_backend_shards_agree_with_merged(self):
+        config = CampaignConfig.smoke("minife").with_backend("event")
+        session = CampaignSession(config)
+        streaming = session.analyze(analyses="all").report().as_dict()
+        legacy = ThreadTimingAnalyzer(session.run().dataset).report().as_dict()
+        assert streaming == legacy
+
+    def test_shard_order_invariance_of_merged_accumulators(self):
+        session = CampaignSession(CampaignConfig.smoke("miniqmc"))
+        shards = list(session.stream())
+        context = AnalysisContext.from_config(
+            session.config, metadata=session.backend_for().metadata(session.config)
+        )
+        forward = run_analyses(shards, "all", context)
+        backward = run_analyses(list(reversed(shards)), "all", context)
+        assert forward.report().as_dict() == backward.report().as_dict()
+        np.testing.assert_array_equal(
+            forward["percentiles"].values, backward["percentiles"].values
+        )
+
+    def test_sketch_mode_close_to_exact_with_bounded_memory(self):
+        session = CampaignSession(CampaignConfig.smoke("minife"))
+        exact = session.analyze(analyses="all").report().as_dict()
+        sketched = session.analyze(analyses="all", exact=False).report().as_dict()
+        # integer tallies stay exact in sketch mode
+        assert sketched["laggard_fraction"] == exact["laggard_fraction"]
+        assert sketched["application_level_rejected"] == exact[
+            "application_level_rejected"
+        ]
+        # sketched percentile-derived fields agree within the documented
+        # rank tolerance
+        for key in ("mean_median_arrival_ms", "mean_iqr_ms", "mean_reclaimable_ms"):
+            assert sketched[key] == pytest.approx(exact[key], rel=0.05)
+
+
+class TestAnalysesCLI:
+    def test_list_analyses_porcelain(self, capsys):
+        from repro.analysis import available_analyses
+
+        assert runner_main(["--list-analyses", "--porcelain"]) == 0
+        assert capsys.readouterr().out.split() == list(available_analyses())
+
+    def test_streaming_analyses_run_end_to_end(self, tmp_path, capsys):
+        code = runner_main(
+            [
+                "--apps",
+                "minife",
+                "--scale",
+                "smoke",
+                "--analyses",
+                "all",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming passes" in out
+        payload = json.loads((tmp_path / "analyses_minife.json").read_text())
+        assert set(payload) == {
+            "earlybird",
+            "histogram",
+            "laggards",
+            "normality",
+            "percentiles",
+            "reclaimable",
+        }
+        assert (tmp_path / "report.txt").exists()
+
+    def test_subset_of_analyses(self, tmp_path, capsys):
+        code = runner_main(
+            [
+                "--apps",
+                "minimd",
+                "--scale",
+                "smoke",
+                "--analyses",
+                "histogram",
+                "laggards",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "analyses_minimd.json").read_text())
+        assert set(payload) == {"histogram", "laggards"}
+        # no report without the full report-pass set
+        assert not (tmp_path / "report.txt").exists()
+
+    def test_save_datasets_conflicts_with_analyses(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner_main(
+                [
+                    "--apps",
+                    "minife",
+                    "--scale",
+                    "smoke",
+                    "--analyses",
+                    "all",
+                    "--save-datasets",
+                    "--output",
+                    str(tmp_path),
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "conflicts with --analyses" in capsys.readouterr().err
+
+    def test_unknown_analysis_fails_cleanly(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown analysis"):
+            runner_main(
+                [
+                    "--apps",
+                    "minife",
+                    "--scale",
+                    "smoke",
+                    "--analyses",
+                    "bogus",
+                    "--output",
+                    str(tmp_path),
+                ]
+            )

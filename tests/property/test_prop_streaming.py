@@ -1,0 +1,77 @@
+"""Property-based tests of the mergeable streaming accumulators (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats.histogram import fixed_width_histogram
+from repro.stats.moments import kurtosis, skewness
+from repro.stats.sketch import PercentileSketch
+from repro.stats.streaming import StreamingHistogram, StreamingMoments
+
+#: physical-range sample vectors, long enough to split into several shards
+sample_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(8, 400),
+    elements=st.floats(1e-6, 1.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(sample_vectors, st.integers(2, 6))
+@settings(max_examples=80, deadline=None)
+def test_streaming_moments_merge_matches_pooled_numpy_moments(samples, n_parts):
+    """The satellite property: per-shard ``StreamingMoments`` merged in any
+    grouping agree with the pooled numpy moments."""
+    parts = np.array_split(samples, n_parts)
+    merged = StreamingMoments()
+    for part in parts:
+        merged = merged.merge(StreamingMoments.from_samples(part))
+    assert merged.count == len(samples)
+    np.testing.assert_allclose(merged.mean, samples.mean(), rtol=1e-9)
+    np.testing.assert_allclose(merged.variance(), samples.var(), rtol=1e-7, atol=1e-12)
+    if samples.var() > 1e-12:  # moments of near-constant data are degenerate
+        np.testing.assert_allclose(
+            merged.skewness, float(skewness(samples)), rtol=1e-5, atol=1e-7
+        )
+        np.testing.assert_allclose(
+            merged.kurtosis, float(kurtosis(samples)), rtol=1e-5, atol=1e-7
+        )
+    assert merged.minimum == samples.min()
+    assert merged.maximum == samples.max()
+
+
+@given(sample_vectors, st.integers(2, 5), st.floats(1e-4, 1e-1))
+@settings(max_examples=60, deadline=None)
+def test_streaming_histogram_is_exact_under_any_sharding(samples, n_parts, width):
+    reference = fixed_width_histogram(samples, width)
+    acc = StreamingHistogram(width)
+    for part in np.array_split(samples, n_parts):
+        acc = acc.merge(StreamingHistogram(width).update(part))
+    merged = acc.finalize()
+    np.testing.assert_array_equal(merged.counts, reference.counts)
+    np.testing.assert_array_equal(merged.edges, reference.edges)
+    assert merged.total == len(samples)
+
+
+@given(sample_vectors, st.integers(2, 5))
+@settings(max_examples=60, deadline=None)
+def test_exact_sketch_quantiles_equal_numpy_percentile(samples, n_parts):
+    sketch = PercentileSketch(exact=True)
+    for part in np.array_split(samples, n_parts):
+        sketch = sketch.merge(PercentileSketch(exact=True).update(part))
+    levels = [5.0, 50.0, 95.0]
+    np.testing.assert_array_equal(
+        sketch.quantile(levels), np.percentile(samples, levels)
+    )
+
+
+@given(sample_vectors)
+@settings(max_examples=60, deadline=None)
+def test_compressed_sketch_brackets_the_true_range(samples):
+    sketch = PercentileSketch(64).update(samples)
+    assert len(sketch.support) <= 64
+    assert sketch.minimum == samples.min()
+    assert sketch.maximum == samples.max()
+    median = float(sketch.quantile(50.0))
+    assert samples.min() <= median <= samples.max()

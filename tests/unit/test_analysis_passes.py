@@ -1,0 +1,226 @@
+"""Unit tests for the analysis-pass registry, shard aggregation and passes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    AnalysisPass,
+    available_analyses,
+    get_analysis,
+    register_analysis,
+    resolve_analyses,
+    run_analyses,
+    unregister_analysis,
+)
+from repro.analysis.passes import (
+    HistogramPass,
+    LaggardsPass,
+    NormalityPass,
+    PercentilesPass,
+    ReclaimablePass,
+)
+from repro.core.aggregation import AggregationLevel, aggregate, aggregate_shard
+from repro.core.analyzer import ThreadTimingAnalyzer
+from repro.core.timing import TimingDataset, TimingShard
+
+BUILTIN = ("earlybird", "histogram", "laggards", "normality", "percentiles", "reclaimable")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(42)
+    times = np.abs(rng.normal(25e-3, 0.1e-3, size=(2, 2, 10, 32)))
+    times[:, :, ::2, 0] += 4e-3
+    return TimingDataset.from_compute_times(times, {"application": "lagdemo"})
+
+
+@pytest.fixture(scope="module")
+def shards(dataset):
+    """Per-(trial, process) shards of the dataset."""
+    return [
+        TimingShard.from_dataset(
+            dataset.select(trial=int(t), process=int(p)), trial=int(t), process=int(p)
+        )
+        for t in dataset.trials
+        for p in dataset.processes
+    ]
+
+
+@pytest.fixture(scope="module")
+def context(dataset):
+    return AnalysisContext.from_dataset(dataset, exact=True)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTIN) <= set(available_analyses())
+
+    def test_get_analysis_instantiates(self):
+        assert get_analysis("percentiles").name == "percentiles"
+        with pytest.raises(ValueError):
+            get_analysis("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_analysis("percentiles")
+            class Clash(PercentilesPass):
+                pass
+
+    def test_custom_pass_round_trip(self, shards, context):
+        @register_analysis("sample-count")
+        class SampleCountPass(AnalysisPass):
+            title = "total sample count"
+
+            def prepare(self, context):
+                return 0
+
+            def accumulate(self, state, shard, context):
+                return state + shard.n_samples
+
+            def merge(self, a, b):
+                return a + b
+
+            def finalize(self, state, context):
+                return state
+
+        try:
+            results = run_analyses(shards, ["sample-count"], context)
+            assert results["sample-count"] == sum(s.n_samples for s in shards)
+        finally:
+            unregister_analysis("sample-count")
+        assert "sample-count" not in available_analyses()
+
+    def test_resolve_analyses_forms(self):
+        passes = resolve_analyses("all")
+        assert {p.name for p in passes} == set(available_analyses())
+        only = resolve_analyses([PercentilesPass(), "laggards"])
+        assert [p.name for p in only] == ["percentiles", "laggards"]
+        with pytest.raises(ValueError):
+            resolve_analyses(["laggards", "laggards"])
+
+
+class TestAggregateShard:
+    @pytest.mark.parametrize("level", list(AggregationLevel))
+    def test_whole_dataset_shard_matches_aggregate(self, dataset, level):
+        shard = TimingShard.from_dataset(dataset, trial=0, process=None)
+        expected = aggregate(dataset, level)
+        actual = aggregate_shard(shard, level)
+        assert actual.keys == expected.keys
+        np.testing.assert_array_equal(actual.values, expected.values)
+
+    def test_row_order_does_not_matter(self, dataset):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(len(dataset))
+        shuffled = TimingShard(
+            trial=0,
+            process=None,
+            columns={name: dataset.column(name)[perm] for name in dataset.columns},
+        )
+        expected = aggregate(dataset, AggregationLevel.PROCESS_ITERATION)
+        actual = aggregate_shard(shuffled, AggregationLevel.PROCESS_ITERATION)
+        assert actual.keys == expected.keys
+        np.testing.assert_array_equal(actual.values, expected.values)
+
+    def test_group_lookup_is_indexed(self, dataset):
+        grouped = aggregate(dataset, AggregationLevel.PROCESS_ITERATION)
+        assert grouped._index is None
+        row = grouped.group((1, 1, 3))
+        assert grouped._index is not None
+        np.testing.assert_array_equal(
+            row, dataset.select(trial=1, process=1, iteration=3).compute_times_s
+        )
+        with pytest.raises(KeyError):
+            grouped.group((9, 9, 9))
+
+
+class TestPassesAgainstLegacy:
+    """Every pass folded over real shards equals the in-memory analyzer."""
+
+    def test_percentiles(self, dataset, shards, context):
+        series = run_analyses(shards, ["percentiles"], context)["percentiles"]
+        legacy = ThreadTimingAnalyzer(dataset).percentile_series()
+        np.testing.assert_array_equal(series.values, legacy.values)
+        assert series.percentiles == legacy.percentiles
+
+    def test_histogram(self, dataset, shards, context):
+        hist = run_analyses(shards, [HistogramPass(50e-6)], context)["histogram"]
+        legacy = ThreadTimingAnalyzer(dataset).application_histogram(50e-6)
+        np.testing.assert_array_equal(hist.counts, legacy.counts)
+        np.testing.assert_array_equal(hist.edges, legacy.edges)
+
+    def test_laggards(self, dataset, shards, context):
+        result = run_analyses(shards, ["laggards"], context)["laggards"]
+        legacy = ThreadTimingAnalyzer(dataset).laggards()
+        assert result.laggard_fraction == legacy.laggard_fraction
+        assert result.analysis.keys == legacy.keys
+        np.testing.assert_array_equal(result.analysis.gap_s, legacy.gap_s)
+        assert result.analysis.classes == legacy.classes
+
+    def test_reclaimable(self, dataset, shards, context):
+        summary = run_analyses(shards, ["reclaimable"], context)["reclaimable"]
+        assert summary == ThreadTimingAnalyzer(dataset).reclaimable()
+
+    def test_normality(self, dataset, shards, context):
+        result = run_analyses(shards, ["normality"], context)["normality"]
+        study = ThreadTimingAnalyzer(dataset).normality()
+        assert result.application_rejected == study.application_rejects_normality()
+        assert result.process_iteration_pass_rates == study.process_iteration_pass_rates()
+
+    def test_earlybird(self, dataset, shards, context):
+        result = run_analyses(shards, ["earlybird"], context)["earlybird"]
+        legacy = ThreadTimingAnalyzer(dataset).earlybird()
+        for key in ("mean_improvement_s", "mean_speedup", "mean_hidden_s"):
+            assert result[key] == legacy[key]
+
+    def test_full_report(self, dataset, shards, context):
+        results = run_analyses(shards, "all", context)
+        streaming = results.report().as_dict()
+        legacy = ThreadTimingAnalyzer(dataset).report().as_dict()
+        assert streaming == legacy
+
+
+class TestShardOrderInvariance:
+    def test_exact_products_survive_shuffling(self, shards, context):
+        rng = np.random.default_rng(7)
+        shuffled = list(shards)
+        rng.shuffle(shuffled)
+        a = run_analyses(shards, "all", context)
+        b = run_analyses(shuffled, "all", context)
+        assert a.report().as_dict() == b.report().as_dict()
+        np.testing.assert_array_equal(
+            a["percentiles"].values, b["percentiles"].values
+        )
+        np.testing.assert_array_equal(a["histogram"].counts, b["histogram"].counts)
+        assert a["laggards"].analysis.keys == b["laggards"].analysis.keys
+
+    def test_bounded_mode_fractions_stay_exact(self, dataset, shards):
+        context = AnalysisContext.from_dataset(dataset, exact=False)
+        results = run_analyses(shards, ["laggards", "reclaimable"], context)
+        legacy = ThreadTimingAnalyzer(dataset)
+        assert (
+            results["laggards"].laggard_fraction
+            == legacy.laggards().laggard_fraction
+        )
+        assert results["laggards"].analysis is None
+        assert results["reclaimable"].mean_reclaimable_s == pytest.approx(
+            legacy.reclaimable().mean_reclaimable_s, rel=1e-9
+        )
+
+
+class TestPassValidation:
+    def test_empty_shard_stream_rejected(self, context):
+        with pytest.raises(ValueError):
+            run_analyses([], ["percentiles"], context)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramPass(0.0)
+        with pytest.raises(ValueError):
+            LaggardsPass(threshold_s=-1.0)
+
+    def test_report_requires_core_passes(self, shards, context):
+        results = run_analyses(shards, ["percentiles"], context)
+        with pytest.raises(ValueError):
+            results.report()

@@ -8,7 +8,27 @@ from repro.openmp.schedule import (
     GuidedSchedule,
     StaticSchedule,
     schedule_from_name,
+    segment_sums,
 )
+
+
+class TestSegmentSums:
+    def test_contiguous_blocks(self):
+        sums = segment_sums(np.arange(1.0, 11.0), [0, 5, 10])
+        np.testing.assert_allclose(sums, [15.0, 40.0])
+
+    def test_empty_segments_sum_to_zero(self):
+        sums = segment_sums(np.arange(1.0, 4.0), [0, 3, 3, 3])
+        np.testing.assert_allclose(sums, [6.0, 0.0, 0.0])
+
+    def test_tail_beyond_offsets_is_ignored(self):
+        # reduceat alone would fold values[4:] into the last segment
+        sums = segment_sums(np.arange(10.0), [0, 2, 4])
+        np.testing.assert_allclose(sums, [1.0, 5.0])
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            segment_sums(np.arange(4.0), [0, 3, 1])
 
 
 def _coverage_ok(assignment, n_items):

@@ -1,0 +1,175 @@
+"""Unit tests for the mergeable streaming accumulators and sketches."""
+
+import numpy as np
+import pytest
+
+from repro.stats.histogram import fixed_width_histogram
+from repro.stats.moments import kurtosis, skewness
+from repro.stats.sketch import P2Quantile, PercentileSketch
+from repro.stats.streaming import StreamingHistogram, StreamingMoments
+
+
+@pytest.fixture(scope="module")
+def samples():
+    rng = np.random.default_rng(11)
+    return rng.gamma(2.0, 1.0e-3, size=5000)
+
+
+class TestStreamingMoments:
+    def test_matches_pooled_numpy_moments(self, samples):
+        acc = StreamingMoments()
+        for chunk in np.array_split(samples, 9):
+            acc.update(chunk)
+        assert acc.count == len(samples)
+        assert acc.mean == pytest.approx(samples.mean(), rel=1e-12)
+        assert acc.variance() == pytest.approx(samples.var(), rel=1e-10)
+        assert acc.skewness == pytest.approx(float(skewness(samples)), rel=1e-8)
+        assert acc.kurtosis == pytest.approx(float(kurtosis(samples)), rel=1e-8)
+        assert acc.minimum == samples.min()
+        assert acc.maximum == samples.max()
+
+    def test_merge_equals_update(self, samples):
+        parts = np.array_split(samples, 4)
+        merged = StreamingMoments.from_samples(parts[0])
+        for part in parts[1:]:
+            merged = merged.merge(StreamingMoments.from_samples(part))
+        direct = StreamingMoments.from_samples(samples)
+        assert merged.n == direct.n
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-12)
+        assert merged.variance() == pytest.approx(direct.variance(), rel=1e-10)
+        assert merged.skewness == pytest.approx(direct.skewness, rel=1e-8)
+
+    def test_merge_order_invariance(self, samples):
+        parts = [StreamingMoments.from_samples(c) for c in np.array_split(samples, 5)]
+        forward = parts[0]
+        for p in parts[1:]:
+            forward = forward.merge(p)
+        backward = parts[-1]
+        for p in reversed(parts[:-1]):
+            backward = backward.merge(p)
+        assert forward.mean == pytest.approx(backward.mean, rel=1e-12)
+        assert forward.variance() == pytest.approx(backward.variance(), rel=1e-10)
+
+    def test_empty_and_degenerate(self):
+        acc = StreamingMoments()
+        assert acc.count == 0 and acc.variance() == 0.0
+        acc.update([])
+        assert acc.count == 0
+        acc.update([3.0, 3.0, 3.0])
+        assert acc.mean == 3.0
+        assert acc.skewness == 0.0 and acc.kurtosis == 0.0
+
+
+class TestStreamingHistogram:
+    def test_chunked_equals_single_call(self, samples):
+        acc = StreamingHistogram(5e-5)
+        for chunk in np.array_split(samples, 11):
+            acc.update(chunk)
+        reference = fixed_width_histogram(samples, 5e-5)
+        merged = acc.finalize()
+        np.testing.assert_array_equal(merged.counts, reference.counts)
+        np.testing.assert_array_equal(merged.edges, reference.edges)
+
+    def test_merge_is_order_invariant_and_exact(self, samples):
+        chunks = np.array_split(samples, 6)
+        accs = [StreamingHistogram(5e-5).update(c) for c in chunks]
+        forward = accs[0]
+        for a in accs[1:]:
+            forward = forward.merge(a)
+        backward = accs[-1]
+        for a in reversed(accs[:-1]):
+            backward = backward.merge(a)
+        np.testing.assert_array_equal(
+            forward.finalize().counts, backward.finalize().counts
+        )
+        np.testing.assert_array_equal(
+            forward.finalize().edges, backward.finalize().edges
+        )
+
+    def test_empty_finalize_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(1e-3).finalize()
+
+    def test_mismatched_widths_rejected(self):
+        a = StreamingHistogram(1e-3).update([1.0])
+        b = StreamingHistogram(2e-3).update([1.0])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestFixedWidthHistogramMerge:
+    def test_shard_histograms_merge_exactly(self, samples):
+        parts = np.array_split(samples, 3)
+        merged = fixed_width_histogram(parts[0], 5e-5)
+        for part in parts[1:]:
+            merged = merged.merge(fixed_width_histogram(part, 5e-5))
+        reference = fixed_width_histogram(samples, 5e-5)
+        assert merged.total == reference.total
+        # the merged grid may extend past the reference by trailing slack
+        # bins; occupied bins must coincide exactly
+        start = int(round((reference.edges[0] - merged.edges[0]) / 5e-5))
+        np.testing.assert_array_equal(
+            merged.counts[start : start + reference.n_bins], reference.counts
+        )
+
+    def test_incompatible_widths_rejected(self):
+        a = fixed_width_histogram([1.0, 2.0], 0.5)
+        b = fixed_width_histogram([1.0, 2.0], 0.25)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestP2Quantile:
+    def test_tracks_median_of_large_stream(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(10.0, 2.0, size=20000)
+        sketch = P2Quantile(0.5)
+        sketch.update_batch(data)
+        assert sketch.value == pytest.approx(float(np.median(data)), rel=5e-3)
+
+    def test_small_streams_are_exact(self):
+        sketch = P2Quantile(0.5)
+        sketch.update_batch([5.0, 1.0, 3.0])
+        assert sketch.value == 3.0
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.5)
+
+
+class TestPercentileSketch:
+    def test_exact_mode_is_bit_identical(self, samples):
+        sketch = PercentileSketch(exact=True)
+        for chunk in np.array_split(samples, 7):
+            sketch.update(chunk)
+        levels = [5.0, 25.0, 50.0, 75.0, 95.0]
+        np.testing.assert_array_equal(
+            sketch.quantile(levels), np.percentile(samples, levels)
+        )
+
+    def test_compressed_mode_is_bounded_and_close(self, samples):
+        sketch = PercentileSketch(256)
+        for chunk in np.array_split(samples, 7):
+            sketch.update(chunk)
+        assert len(sketch.support) <= 256
+        levels = [5.0, 50.0, 95.0]
+        estimate = sketch.quantile(levels)
+        truth = np.percentile(samples, levels)
+        np.testing.assert_allclose(estimate, truth, rtol=0.05)
+        # extremes stay exact through compression
+        assert sketch.minimum == samples.min()
+        assert sketch.maximum == samples.max()
+
+    def test_merge_matches_pooled_update(self, samples):
+        parts = np.array_split(samples, 2)
+        a = PercentileSketch(512).update(parts[0])
+        b = PercentileSketch(512).update(parts[1])
+        merged = a.merge(b)
+        assert merged.n == len(samples)
+        np.testing.assert_allclose(
+            merged.quantile(50.0), np.percentile(samples, 50.0), rtol=0.05
+        )
+
+    def test_mode_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileSketch(exact=True).merge(PercentileSketch(64))
