@@ -1,25 +1,65 @@
 """Throughput of the measurement-campaign substrates themselves.
 
 Not a paper artefact, but the number a downstream user cares about when
-scaling the reproduction up: samples generated per second on the vectorised
-path, regions per second on the event-driven path, and normality tests per
-second in the batch battery.
+scaling the reproduction up: samples generated per second on each campaign
+backend (``vectorized`` / ``batched`` / ``chunked`` at benchmark scale,
+``event`` reduced), and normality tests per second in the batch battery.
+
+Every backend benchmark stores ``samples_per_second`` in the pytest-benchmark
+``extra_info``, so the CI benchmark job's ``bench.json`` carries per-backend
+throughput alongside the raw timings.  ``test_batched_speedup_guard`` is the
+regression guard for the batched shard kernel: it fails the benchmark job if
+the batched/vectorized speedup drops below 3x (the kernel's win at benchmark
+scale is ~9-18x depending on the application, so 3x trips only on a real
+regression, not on machine noise).
 """
 
-import numpy as np
+import time
 
-from repro.experiments.campaign import run_campaign
+import numpy as np
+import pytest
+
+from repro.experiments.backends import get_backend
 from repro.experiments.config import CampaignConfig
 from repro.stats.battery import NormalityBattery
 
+#: guard threshold: batched must stay at least this much faster than
+#: vectorized at benchmark scale
+MIN_BATCHED_SPEEDUP = 3.0
 
-def test_vectorized_campaign_throughput(benchmark):
+
+def _run_backend(config):
+    return get_backend(config.backend).run(config)
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "batched", "chunked"])
+def test_campaign_backend_throughput(benchmark, backend):
     config = CampaignConfig(
-        application="minife", trials=1, processes=2, iterations=50, threads=48,
-        seed=1,
+        application="minife", trials=1, processes=2, iterations=200, threads=48,
+        seed=1, backend=backend,
     )
-    dataset = benchmark(run_campaign, config)
-    assert dataset.n_samples == 1 * 2 * 50 * 48
+    benchmark.group = "campaign-backends"
+    dataset = benchmark(_run_backend, config)
+    assert dataset.n_samples == config.samples_per_application
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["samples_per_second"] = (
+        dataset.n_samples / benchmark.stats.stats.min
+    )
+
+
+@pytest.mark.parametrize("application", ["minife", "minimd", "miniqmc"])
+def test_batched_backend_throughput_per_app(benchmark, application):
+    config = CampaignConfig(
+        application=application, trials=1, processes=2, iterations=200,
+        threads=48, seed=1, backend="batched",
+    )
+    benchmark.group = "batched-backend"
+    dataset = benchmark(_run_backend, config)
+    assert dataset.n_samples == config.samples_per_application
+    benchmark.extra_info["backend"] = "batched"
+    benchmark.extra_info["samples_per_second"] = (
+        dataset.n_samples / benchmark.stats.stats.min
+    )
 
 
 def test_event_campaign_throughput(benchmark):
@@ -27,9 +67,39 @@ def test_event_campaign_throughput(benchmark):
         application="miniqmc", trials=1, processes=1, iterations=10, threads=24,
         seed=1, backend="event",
     )
-    dataset = benchmark(run_campaign, config)
+    benchmark.group = "campaign-backends"
+    dataset = benchmark(_run_backend, config)
     assert dataset.n_samples == 240
     assert "start_ns" in dataset.columns
+    benchmark.extra_info["backend"] = "event"
+    benchmark.extra_info["samples_per_second"] = (
+        dataset.n_samples / benchmark.stats.stats.min
+    )
+
+
+def test_batched_speedup_guard():
+    """Regression guard: the batched kernel must stay >= 3x the vectorized
+    path at benchmark scale (measured headroom is ~9x on MiniFE)."""
+
+    def best_rate(backend: str, repeats: int = 3) -> float:
+        config = CampaignConfig.benchmark_scale("minife").with_backend(backend)
+        runner = get_backend(backend)
+        runner.run(config)  # warm-up: calibration, allocator, caches
+        best = np.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            dataset = runner.run(config)
+            best = min(best, time.perf_counter() - start)
+        return dataset.n_samples / best
+
+    vectorized = best_rate("vectorized")
+    batched = best_rate("batched")
+    speedup = batched / vectorized
+    assert speedup >= MIN_BATCHED_SPEEDUP, (
+        f"batched backend is only {speedup:.1f}x the vectorized path "
+        f"({batched:,.0f} vs {vectorized:,.0f} samples/s); the shard kernel "
+        f"has regressed below the {MIN_BATCHED_SPEEDUP}x guard"
+    )
 
 
 def test_batch_normality_battery_throughput(benchmark, rng_seed=3):

@@ -97,6 +97,81 @@ class ProxyApplication(ABC):
         return np.zeros(self.config.n_threads)
 
     # ------------------------------------------------------------------
+    # batched work decomposition (the ``"batched"`` campaign backend)
+    # ------------------------------------------------------------------
+    def item_costs_batch(
+        self, process: int, n_iterations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Cost matrix ``(n_iterations, n_items)`` of a whole shard's loops.
+
+        The generic fallback stacks per-iteration :meth:`item_costs` calls
+        (same draws, same order); applications whose per-iteration
+        randomness factors into a single distribution override this with one
+        2-D draw so an entire (trial, process) shard costs a handful of
+        NumPy calls.  Batched overrides draw in a *different order* than the
+        per-iteration path, so the ``"batched"`` backend is statistically —
+        not bit- — identical to ``"vectorized"``.
+        """
+        return np.stack(
+            [self.item_costs(process, it, rng) for it in range(n_iterations)]
+        )
+
+    def base_thread_times_batch(
+        self, process: int, n_iterations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-thread pure compute times ``(n_iterations, n_threads)`` of a
+        shard, folded through the schedule's batch kernel."""
+        costs = self.item_costs_batch(process, n_iterations, rng)
+        return self.config.schedule.simulate_batch(costs, self.config.n_threads)
+
+    def application_delays_batch(
+        self, process: int, n_iterations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Application-level delays ``(n_iterations, n_threads)`` of a shard.
+
+        Generic fallback: stacked per-iteration :meth:`application_delays`.
+        """
+        return np.stack(
+            [self.application_delays(process, it, rng) for it in range(n_iterations)]
+        )
+
+    def thread_compute_times_batch(
+        self,
+        *,
+        process: int,
+        rng: np.random.Generator,
+        noise: Optional[OSNoiseModel] = None,
+        n_iterations: Optional[int] = None,
+    ) -> np.ndarray:
+        """Measured compute times of a whole (trial, process) shard at once.
+
+        The batched analogue of :meth:`thread_compute_times`: returns the
+        ``(n_iterations, n_threads)`` matrix with schedule busy times,
+        application delays, execution jitter and OS noise all applied as
+        whole-matrix operations (one jitter draw, one
+        :meth:`~repro.cluster.noise.OSNoiseModel.batch_delays` call).  The
+        per-iteration path interleaves its draws iteration by iteration, so
+        the two paths agree in distribution, not bit-for-bit.
+        """
+        n_iter = self.config.n_iterations if n_iterations is None else n_iterations
+        if n_iter < 1:
+            raise ValueError("n_iterations must be >= 1")
+        base = self.base_thread_times_batch(process, n_iter, rng)
+        extra = self.application_delays_batch(process, n_iter, rng)
+        if extra.shape != base.shape:
+            raise ValueError(
+                "application_delays_batch must return one value per "
+                "(iteration, thread)"
+            )
+        times = base + extra
+        if noise is not None:
+            if noise.spec.enabled and noise.spec.jitter_fraction > 0:
+                jitter = rng.normal(1.0, noise.spec.jitter_fraction, size=times.shape)
+                times = times * np.clip(jitter, 0.5, None)
+            times = times + noise.batch_delays(times, rng)
+        return times
+
+    # ------------------------------------------------------------------
     # sampling (vectorised campaign path)
     # ------------------------------------------------------------------
     def thread_compute_times(

@@ -137,6 +137,33 @@ class MiniFEApp(ProxyApplication):
         return delays
 
     # ------------------------------------------------------------------
+    # batched work model (the ``"batched"`` campaign backend)
+    # ------------------------------------------------------------------
+    def base_thread_times_batch(
+        self, process: int, n_iterations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The matrix never changes between iterations: broadcast the cached
+        per-thread busy-time row instead of re-simulating the schedule."""
+        row = self.base_thread_times(process, 0, rng)
+        return np.broadcast_to(row, (n_iterations, row.size))
+
+    def application_delays_batch(
+        self, process: int, n_iterations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All of the shard's straggler events in three vectorised draws:
+        which iterations straggle, which thread is the victim, how long."""
+        cfg = self.config
+        delays = np.zeros((n_iterations, cfg.n_threads))
+        hit = rng.uniform(size=n_iterations) < cfg.straggler_probability
+        n_hit = int(hit.sum())
+        if n_hit:
+            victims = rng.integers(cfg.n_threads, size=n_hit)
+            delays[np.flatnonzero(hit), victims] = rng.uniform(
+                cfg.straggler_min_s, cfg.straggler_max_s, size=n_hit
+            )
+        return delays
+
+    # ------------------------------------------------------------------
     # reference kernel
     # ------------------------------------------------------------------
     def run_reference_kernel(self, rng: np.random.Generator) -> Dict[str, float]:

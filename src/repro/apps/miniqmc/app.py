@@ -137,6 +137,18 @@ class MiniQMCApp(ProxyApplication):
         draws = rng.normal(mean, sd, size=cfg.n_threads)
         return np.clip(draws, 0.2 * self.mover_mean_s, None) * cfg.sweeps_per_iteration
 
+    def item_costs_batch(
+        self, process: int, n_iterations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """A shard's per-walker mover times as one 2-D normal draw (the
+        ``"batched"`` campaign backend); same truncation as the
+        per-iteration path."""
+        cfg = self.config
+        mean = self.mover_mean_s * self._process_mean_scale
+        sd = self.mover_mean_s * self.mover_relative_sd * self._process_sd_scale
+        draws = rng.normal(mean, sd, size=(n_iterations, cfg.n_threads))
+        return np.clip(draws, 0.2 * self.mover_mean_s, None) * cfg.sweeps_per_iteration
+
     # ------------------------------------------------------------------
     # reference kernel
     # ------------------------------------------------------------------

@@ -275,8 +275,12 @@ class OSNoiseModel:
 
         Statistically equivalent to calling :meth:`delay_over` once per entry
         (periodic daemon occurrences + Poisson interrupts), but without the
-        per-core phase bookkeeping — the fast campaign path uses this, the
-        event-driven path uses :meth:`delay_over`.
+        per-core phase bookkeeping — the fast campaign paths use this, the
+        event-driven path uses :meth:`delay_over`.  ``work_s`` may have any
+        shape — the vectorized backend passes ``(n_threads,)`` slices, the
+        batched backend one ``(n_iterations, n_threads)`` matrix per shard —
+        and every registered source draws for the whole batch in one call;
+        the returned delays match the input shape.
         """
         work = np.asarray(work_s, dtype=np.float64)
         if np.any(work < 0):

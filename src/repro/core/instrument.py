@@ -58,6 +58,9 @@ class RegionInstrumenter:
             "end_ns": [],
             "compute_time_s": [],
         }
+        #: already-columnar blocks appended by :meth:`record_block`, kept as
+        #: arrays so batched recording never round-trips through Python lists
+        self._blocks: List[Dict[str, np.ndarray]] = []
 
     # ------------------------------------------------------------------
     def record_thread(
@@ -116,16 +119,82 @@ class RegionInstrumenter:
         self._rows["end_ns"].extend((times * 1e9).astype(np.int64).tolist())
         self._rows["compute_time_s"].extend(times.tolist())
 
+    def record_block(
+        self,
+        *,
+        trial: int,
+        process: int,
+        compute_times_s: np.ndarray,
+        first_iteration: int = 0,
+    ) -> None:
+        """Record a whole ``(n_iterations, n_threads)`` block columnar-ly.
+
+        The batched campaign backend produces an entire (trial, process)
+        shard as one matrix; this appends it as ready-made column arrays —
+        iteration ids via ``np.repeat``, thread ids via ``np.tile``, values
+        flattened — so shard construction does no per-iteration Python work
+        and no list churn.  Iterations are numbered from
+        ``first_iteration``; row order matches ``n_iterations`` consecutive
+        :meth:`record_compute_times` calls.
+        """
+        times = np.asarray(compute_times_s, dtype=np.float64)
+        if times.ndim != 2:
+            raise ValueError(
+                "compute_times_s must be 2-D (iterations x threads), "
+                f"got shape {times.shape}"
+            )
+        if np.any(times < 0):
+            raise ValueError("compute times must be non-negative")
+        n_iterations, n_threads = times.shape
+        n = times.size
+        # own the values: ravel() of a contiguous input is a view, and the
+        # caller may reuse (or mutate) its matrix after recording
+        flat = times.reshape(-1).copy()
+        self._flush_rows()
+        self._blocks.append(
+            {
+                "trial": np.full(n, trial, dtype=np.int32),
+                "process": np.full(n, process, dtype=np.int32),
+                "iteration": np.repeat(
+                    np.arange(first_iteration, first_iteration + n_iterations), n_threads
+                ),
+                "thread": np.tile(np.arange(n_threads), n_iterations),
+                "start_ns": np.zeros(n, dtype=np.int64),
+                "end_ns": (flat * 1e9).astype(np.int64),
+                "compute_time_s": flat,
+            }
+        )
+
+    def _flush_rows(self) -> None:
+        """Convert any pending per-row appends into a columnar block, so
+        mixed ``record_*`` call sequences keep their chronological order."""
+        if not self._rows["compute_time_s"]:
+            return
+        self._blocks.append(
+            {name: np.asarray(values) for name, values in self._rows.items()}
+        )
+        for values in self._rows.values():
+            values.clear()
+
     # ------------------------------------------------------------------
     @property
     def n_records(self) -> int:
-        return len(self._rows["compute_time_s"])
+        return len(self._rows["compute_time_s"]) + sum(
+            len(block["compute_time_s"]) for block in self._blocks
+        )
 
     def dataset(self) -> TimingDataset:
         """Materialise the accumulated records as a :class:`TimingDataset`."""
         if self.n_records == 0:
             raise ValueError("no records collected yet")
-        columns = {name: np.asarray(values) for name, values in self._rows.items()}
+        self._flush_rows()
+        if len(self._blocks) == 1:
+            columns = dict(self._blocks[0])
+        else:
+            columns = {
+                name: np.concatenate([block[name] for block in self._blocks])
+                for name in self._blocks[0]
+            }
         metadata = {
             "application": self.application,
             "region": self.region,
@@ -137,6 +206,7 @@ class RegionInstrumenter:
         """Discard all collected records."""
         for values in self._rows.values():
             values.clear()
+        self._blocks.clear()
 
 
 @dataclass

@@ -17,6 +17,12 @@ campaign layer without touching it.  Three backends ship with the package:
   per-(trial, process) :class:`~repro.core.timing.TimingShard` chunks instead
   of one eagerly-materialised dense dataset.  This is the memory-bounded
   streaming path of :class:`~repro.experiments.session.CampaignSession`.
+* ``"batched"`` — the whole-shard kernel: one (trial, process) shard is
+  sampled as a few large-array operations over an
+  ``(n_iterations, n_threads)`` matrix instead of ``n_iterations`` small
+  per-iteration passes.  Fastest by a wide margin; draws its randomness in
+  a different order than ``"vectorized"``, so the two agree in distribution
+  but not bit-for-bit (the batched backend pins its own digests).
 
 Every backend decomposes its campaign into *shards* (:meth:`shard_specs` /
 :meth:`run_shard`).  A shard re-derives all of its random streams from the
@@ -247,6 +253,47 @@ class VectorizedBackend(CampaignBackend):
                 iteration=iteration,
                 compute_times_s=times,
             )
+        return TimingShard.from_dataset(
+            instrumenter.dataset(), trial=trial, process=process
+        )
+
+
+@register_backend("batched")
+class BatchedBackend(VectorizedBackend):
+    """Whole-shard closed-form sampling over an iteration × thread matrix.
+
+    Shards exactly like the vectorized backend — per (trial, process), with
+    all streams re-derived by name, so parallel execution stays
+    bit-identical to serial at any worker count.  Within a shard, the
+    application's :meth:`~repro.apps.base.ProxyApplication.thread_compute_times_batch`
+    samples every iteration at once: the schedule folds the full cost matrix
+    through its batch kernel, jitter is one 2-D draw, every noise source
+    contributes one whole-matrix ``batch_extra``, and the shard's columns
+    are assembled with a single columnar
+    :meth:`~repro.core.instrument.RegionInstrumenter.record_block`.
+
+    The per-iteration path interleaves its random draws iteration by
+    iteration while this backend draws them population by population, so the
+    sampled values differ bit-wise from ``"vectorized"`` while agreeing in
+    distribution (property-tested over apps × schedules × noise profiles).
+    """
+
+    def run_shard(
+        self, config: "CampaignConfig", spec: ShardSpec, streams: RandomStreams
+    ) -> TimingShard:
+        if spec.process is None:
+            raise ValueError(f"{self.name} backend shards per process, got {spec}")
+        app = build_application(config)
+        trial, process = spec.trial, spec.process
+        work_rng = streams.get(app.name, "work", trial, process)
+        noise_rng = streams.get(app.name, "noise", trial, process)
+        noise = config.machine.build_noise_model(noise_rng)
+        app.begin_process(process, work_rng)
+        times = app.thread_compute_times_batch(
+            process=process, rng=work_rng, noise=noise
+        )
+        instrumenter = RegionInstrumenter(region=app.region, application=app.name)
+        instrumenter.record_block(trial=trial, process=process, compute_times_s=times)
         return TimingShard.from_dataset(
             instrumenter.dataset(), trial=trial, process=process
         )

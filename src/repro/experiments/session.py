@@ -27,6 +27,11 @@ With a ``cache_dir``, results are cached on disk through
 :mod:`repro.io.dataset_io`, keyed by a stable hash of everything that
 determines the samples (:func:`config_cache_key`) — re-running an identical
 configuration loads the ``.npz`` instead of recomputing 768 000 samples.
+Streaming analyses get their own cache layer: each pass's *finalized
+product* is pickled under a key derived from (config hash, pass name, pass
+parameters, exact flag), so repeating an ``analyze(analyses=...)`` call
+loads products directly — no campaign execution, no shard folding.  The
+session counts ``analysis_cache_hits`` / ``analysis_cache_misses``.
 """
 
 from __future__ import annotations
@@ -202,6 +207,10 @@ class CampaignSession:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.executor_mode = executor_mode
         self._results: Dict[str, CampaignResult] = {}
+        #: finalized-pass-product cache counters (only ticked when a
+        #: ``cache_dir`` is configured; see :meth:`analyze`)
+        self.analysis_cache_hits = 0
+        self.analysis_cache_misses = 0
 
     # ------------------------------------------------------------------
     # configuration plumbing
@@ -228,6 +237,125 @@ class CampaignSession:
 
     def _executor(self) -> ShardExecutor:
         return ShardExecutor(mode=self.executor_mode)
+
+    # ------------------------------------------------------------------
+    # streaming-analysis product cache
+    # ------------------------------------------------------------------
+    @classmethod
+    def _describe_param(cls, value: object, _depth: int = 0) -> Optional[str]:
+        """Stable, collision-resistant description of one pass parameter.
+
+        Arrays are digested over their full contents (``repr`` would elide
+        large arrays to ``...``, colliding distinct parameters).  Objects
+        without a custom ``__repr__`` — e.g. the earlybird pass's
+        ``EarlyBirdModel`` — are described from their class name and
+        attributes (``__dict__`` or ``__slots__``) instead of the default
+        ``<... object at 0x...>`` repr, whose embedded memory address would
+        change every run and make the cross-session cache permanently miss.
+        Everything else round-trips through ``repr``, which is stable for
+        the primitive thresholds/widths the built-in passes hold.
+
+        Returns ``None`` when no stable description exists (an attribute-less
+        default-repr object, or pathological nesting): the caller then skips
+        caching for that pass — an honest recompute beats both a permanent
+        silent miss and a key collision.
+        """
+        import numpy as np
+
+        if isinstance(value, np.ndarray):
+            digest = hashlib.sha256(np.ascontiguousarray(value).tobytes())
+            return f"ndarray{value.shape}:{value.dtype}:{digest.hexdigest()}"
+        if _depth < 6 and isinstance(value, (list, tuple, set, frozenset)):
+            items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+            parts = [cls._describe_param(item, _depth + 1) for item in items]
+            if any(part is None for part in parts):
+                return None
+            return f"{type(value).__qualname__}[{';'.join(parts)}]"
+        if _depth < 6 and isinstance(value, dict):
+            parts = []
+            for name, item in sorted(value.items(), key=lambda kv: repr(kv[0])):
+                described = cls._describe_param(item, _depth + 1)
+                if described is None:
+                    return None
+                parts.append(f"{name!r}:{described}")
+            return f"dict{{{';'.join(parts)}}}"
+        if type(value).__repr__ is not object.__repr__:
+            return repr(value)
+        attrs = getattr(value, "__dict__", None)
+        if attrs is None:
+            slots = [
+                name
+                for klass in type(value).__mro__
+                for name in (getattr(klass, "__slots__", ()) or ())
+            ]
+            if not slots:
+                return None
+            attrs = {name: getattr(value, name) for name in slots if hasattr(value, name)}
+        if _depth >= 6:
+            return None
+        parts = []
+        for name, attr in sorted(attrs.items()):
+            described = cls._describe_param(attr, _depth + 1)
+            if described is None:
+                return None
+            parts.append(f"{name}={described}")
+        return f"{type(value).__qualname__}({';'.join(parts)})"
+
+    def _analysis_cache_path(
+        self, config: "CampaignConfig", analysis_pass: "AnalysisPass", exact: bool
+    ) -> Optional[Path]:
+        """Cache file of one pass's finalized product, or ``None`` without a
+        ``cache_dir``.  The key hashes everything that determines the
+        product: the campaign's sample-determining config hash, the pass
+        name, the pass's parameters (its instance attributes) and the
+        exact/sketch flag."""
+        if self.cache_dir is None:
+            return None
+        descriptions = []
+        for name, value in sorted(vars(analysis_pass).items()):
+            described = self._describe_param(value)
+            if described is None:
+                import warnings
+
+                warnings.warn(
+                    f"analysis pass {analysis_pass.name!r}: parameter {name!r} "
+                    f"({type(value).__qualname__}) has no stable description "
+                    "(define __repr__ on it); skipping the product cache for "
+                    "this pass",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return None
+            descriptions.append(f"{name}={described}")
+        params = ";".join(descriptions)
+        blob = "|".join(
+            (config_cache_key(config), analysis_pass.name, params, str(bool(exact)))
+        )
+        key = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+        return (
+            self.cache_dir
+            / f"analysis_{config.application}_{analysis_pass.name}_{key}.pkl"
+        )
+
+    def _load_analysis_product(self, path: Optional[Path]) -> Tuple[bool, object]:
+        if path is None or not path.exists():
+            return False, None
+        import pickle
+
+        try:
+            with path.open("rb") as handle:
+                return True, pickle.load(handle)
+        except Exception:  # corrupt/stale entry: recompute and overwrite
+            return False, None
+
+    def _store_analysis_product(self, path: Optional[Path], product: object) -> None:
+        if path is None:
+            return
+        import pickle
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(product, handle)
 
     # ------------------------------------------------------------------
     # execution
@@ -338,25 +466,64 @@ class CampaignSession:
         if analyses is not None:
             from repro.analysis import (
                 AnalysisContext,
+                AnalysisResults,
+                resolve_analyses,
                 run_analyses,
                 run_campaign_analyses,
             )
 
-            if result is not None:
-                # the campaign already ran in this session — fold its shards
-                # through the passes instead of re-executing it
-                context = AnalysisContext.from_config(
-                    config, exact=exact, metadata=result.metadata
+            passes = resolve_analyses(analyses)
+            products: Dict[str, object] = {}
+            missing = list(passes)
+            if self.cache_dir is not None:
+                missing = []
+                for p in passes:
+                    hit, product = self._load_analysis_product(
+                        self._analysis_cache_path(config, p, exact)
+                    )
+                    if hit:
+                        products[p.name] = product
+                        self.analysis_cache_hits += 1
+                    else:
+                        missing.append(p)
+                        self.analysis_cache_misses += 1
+            context: Optional[AnalysisContext] = None
+            if missing:
+                if result is not None:
+                    # the campaign already ran in this session — fold its
+                    # shards through the passes instead of re-executing it
+                    context = AnalysisContext.from_config(
+                        config, exact=exact, metadata=result.metadata
+                    )
+                    fresh = run_analyses(result.shards, missing, context)
+                else:
+                    backend = get_backend(config.backend)
+                    fresh = run_campaign_analyses(
+                        backend,
+                        config,
+                        missing,
+                        executor=self._executor(),
+                        exact=exact,
+                    )
+                context = fresh.context
+                for p in missing:
+                    products[p.name] = fresh[p.name]
+                    self._store_analysis_product(
+                        self._analysis_cache_path(config, p, exact), fresh[p.name]
+                    )
+            if context is None:
+                # every product came from the cache — rebuild the campaign
+                # frame (cheap; no samples involved) for report assembly
+                metadata = (
+                    result.metadata
+                    if result is not None
+                    else get_backend(config.backend).metadata(config)
                 )
-                return run_analyses(result.shards, analyses, context)
-            backend = get_backend(config.backend)
-            return run_campaign_analyses(
-                backend,
-                config,
-                analyses,
-                executor=self._executor(),
-                exact=exact,
-            )
+                context = AnalysisContext.from_config(
+                    config, exact=exact, metadata=metadata
+                )
+            ordered = {p.name: products[p.name] for p in passes}
+            return AnalysisResults(ordered, context)
         if result is None:
             result = self.run(application)
         return result.analyze()

@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -50,6 +51,73 @@ def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         arr = np.asarray(values, dtype=np.float64)[: offsets[-1]]
         out[nonempty] = np.add.reduceat(arr, offsets[:-1][nonempty])
     return out
+
+
+def segment_sums_2d(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`segment_sums` of a 2-D matrix, in one ``reduceat``.
+
+    ``values`` has shape ``(n_rows, n_values)``; ``offsets`` addresses
+    segments along the last axis exactly as in :func:`segment_sums`, shared
+    by every row.  Returns ``(n_rows, n_segments)``.  Each segment is summed
+    left-to-right, so every row matches what :func:`segment_sums` returns
+    for it — this is what keeps the batched schedule kernels bit-identical
+    to their per-iteration counterparts.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.diff(offsets)
+    if np.any(sizes < 0):
+        raise ValueError("offsets must be monotonically non-decreasing")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("values must be a 2-D matrix (rows x items)")
+    out = np.zeros((arr.shape[0], len(sizes)), dtype=np.float64)
+    nonempty = sizes > 0
+    if nonempty.any():
+        out[:, nonempty] = np.add.reduceat(
+            arr[:, : offsets[-1]], offsets[:-1][nonempty], axis=1
+        )
+    return out
+
+
+@lru_cache(maxsize=1024)
+def _static_block_offsets(n_items: int, n_threads: int) -> np.ndarray:
+    """Memoized boundaries of the chunk-less static split (read-only).
+
+    The per-iteration execution paths (event backend, ``base_thread_times``)
+    ask for the same ``(n_items, n_threads)`` split every call; the answer
+    never changes, so it is computed once and shared.
+    """
+    base = n_items // n_threads
+    remainder = n_items % n_threads
+    sizes = np.full(n_threads, base, dtype=np.int64)
+    sizes[:remainder] += 1
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    offsets.setflags(write=False)
+    return offsets
+
+
+@lru_cache(maxsize=1024)
+def _static_assignment_cached(
+    n_items: int, n_threads: int, chunk: Optional[int]
+) -> Tuple[np.ndarray, ...]:
+    """Memoized static item-to-thread assignment (read-only arrays)."""
+    indices = np.arange(n_items)
+    if chunk is None:
+        offsets = _static_block_offsets(n_items, n_threads)
+        parts = [indices[offsets[t] : offsets[t + 1]] for t in range(n_threads)]
+    else:
+        chunks = [
+            indices[start : start + chunk] for start in range(0, n_items, chunk)
+        ]
+        dealt: List[List[np.ndarray]] = [[] for _ in range(n_threads)]
+        for idx, piece in enumerate(chunks):
+            dealt[idx % n_threads].append(piece)
+        parts = [
+            np.concatenate(p) if p else np.empty(0, dtype=np.int64) for p in dealt
+        ]
+    for part in parts:
+        part.setflags(write=False)
+    return tuple(parts)
 
 
 @dataclass
@@ -83,6 +151,24 @@ class LoopSchedule(ABC):
     def simulate(self, costs: np.ndarray, n_threads: int) -> ScheduleOutcome:
         """Replay the schedule on ``costs`` (one entry per loop iteration)."""
 
+    def simulate_batch(self, costs: np.ndarray, n_threads: int) -> np.ndarray:
+        """Per-thread busy time of many independent loop instances at once.
+
+        ``costs`` has shape ``(n_instances, n_items)`` — one row per
+        application iteration of a campaign shard; the return value is the
+        ``(n_instances, n_threads)`` busy-time matrix.  The base
+        implementation replays each row through :meth:`simulate` (required
+        for work-queue schedules, whose assignment depends on the realised
+        costs); schedules with cost-independent assignments override this
+        with a closed-form fold over the whole matrix.  Every row is
+        bit-identical to ``simulate(costs[i], n_threads).busy_time``.
+        """
+        arr = self._validate_batch(costs, n_threads)
+        busy = np.empty((arr.shape[0], n_threads), dtype=np.float64)
+        for i in range(arr.shape[0]):
+            busy[i] = self.simulate(arr[i], n_threads).busy_time
+        return busy
+
     def static_assignment(
         self, n_items: int, n_threads: int
     ) -> Optional[List[np.ndarray]]:
@@ -95,6 +181,19 @@ class LoopSchedule(ABC):
         arr = np.asarray(costs, dtype=np.float64)
         if arr.ndim != 1:
             raise ValueError("costs must be a 1-D array (one entry per iteration)")
+        if np.any(arr < 0):
+            raise ValueError("per-iteration costs must be non-negative")
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        return arr
+
+    @staticmethod
+    def _validate_batch(costs: np.ndarray, n_threads: int) -> np.ndarray:
+        arr = np.asarray(costs, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(
+                "batch costs must be a 2-D matrix (instances x loop items)"
+            )
         if np.any(arr < 0):
             raise ValueError("per-iteration costs must be non-negative")
         if n_threads < 1:
@@ -125,33 +224,21 @@ class StaticSchedule(LoopSchedule):
     def _block_offsets(n_items: int, n_threads: int) -> np.ndarray:
         """Boundaries of the ``n_threads`` contiguous near-equal blocks —
         the single source of the chunk-less split policy, shared by
-        :meth:`static_assignment` and :meth:`simulate`."""
-        base = n_items // n_threads
-        remainder = n_items % n_threads
-        sizes = np.full(n_threads, base, dtype=np.int64)
-        sizes[:remainder] += 1
-        return np.concatenate(([0], np.cumsum(sizes)))
+        :meth:`static_assignment`, :meth:`simulate` and
+        :meth:`simulate_batch`.  Memoized (read-only array)."""
+        return _static_block_offsets(int(n_items), int(n_threads))
 
     def static_assignment(self, n_items: int, n_threads: int) -> List[np.ndarray]:
+        """Item indices per thread.  Memoized per ``(n_items, n_threads,
+        chunk)``; the returned arrays are shared and read-only."""
         if n_items < 0:
             raise ValueError("n_items must be non-negative")
-        indices = np.arange(n_items)
-        if self.chunk is None:
-            offsets = self._block_offsets(n_items, n_threads)
-            return [
-                indices[offsets[t] : offsets[t + 1]] for t in range(n_threads)
-            ]
-        chunks = [
-            indices[start : start + self.chunk]
-            for start in range(0, n_items, self.chunk)
-        ]
-        assignment: List[List[np.ndarray]] = [[] for _ in range(n_threads)]
-        for idx, chunk in enumerate(chunks):
-            assignment[idx % n_threads].append(chunk)
-        return [
-            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
-            for parts in assignment
-        ]
+        return list(_static_assignment_cached(int(n_items), int(n_threads), self.chunk))
+
+    def _chunk_offsets(self, n_items: int) -> np.ndarray:
+        """Segment boundaries of the round-robin chunk decomposition."""
+        starts = np.arange(0, n_items, self.chunk, dtype=np.int64)
+        return np.concatenate((starts, [n_items]))
 
     def simulate(self, costs: np.ndarray, n_threads: int) -> ScheduleOutcome:
         arr = self._validate(costs, n_threads)
@@ -163,15 +250,31 @@ class StaticSchedule(LoopSchedule):
         else:
             # round-robin chunks: per-chunk sums via reduceat, scattered to
             # their dealt thread
-            starts = np.arange(0, len(arr), self.chunk, dtype=np.int64)
-            offsets = np.concatenate((starts, [len(arr)]))
-            chunk_sums = segment_sums(arr, offsets)
+            chunk_sums = segment_sums(arr, self._chunk_offsets(len(arr)))
             busy = np.zeros(n_threads)
             np.add.at(busy, np.arange(len(chunk_sums)) % n_threads, chunk_sums)
         chunks = [
             (t, int(idx[0]), len(idx)) for t, idx in enumerate(assignment) if len(idx)
         ]
         return ScheduleOutcome(assignment=assignment, busy_time=busy, chunks=chunks)
+
+    def simulate_batch(self, costs: np.ndarray, n_threads: int) -> np.ndarray:
+        """Closed-form batch kernel: the assignment is cost-independent, so
+        the whole ``(n_instances, n_items)`` matrix folds through one
+        row-wise ``reduceat`` instead of ``n_instances`` replays."""
+        arr = self._validate_batch(costs, n_threads)
+        n_items = arr.shape[1]
+        if self.chunk is None:
+            return segment_sums_2d(arr, self._block_offsets(n_items, n_threads))
+        chunk_sums = segment_sums_2d(arr, self._chunk_offsets(n_items))
+        busy = np.zeros((arr.shape[0], n_threads), dtype=np.float64)
+        threads_of = np.arange(chunk_sums.shape[1]) % n_threads
+        np.add.at(
+            busy,
+            (np.arange(arr.shape[0])[:, None], threads_of[None, :]),
+            chunk_sums,
+        )
+        return busy
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StaticSchedule(chunk={self.chunk})"

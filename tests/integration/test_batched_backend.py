@@ -1,0 +1,153 @@
+"""The batched whole-shard kernel end-to-end.
+
+The batched backend draws its randomness population by population (one 2-D
+draw per source) instead of iteration by iteration, so it is *not*
+bit-identical to ``"vectorized"`` — it pins its own reference digests here.
+Distributional agreement with the vectorized path is property-tested in
+``tests/property/test_prop_batched.py``; this module pins exact behaviour:
+same seed → same arrays, serial or parallel, at any worker count.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.instrument import RegionInstrumenter
+from repro.experiments.backends import available_backends, get_backend
+from repro.experiments.config import CampaignConfig
+from repro.experiments.session import CampaignSession
+
+# sha256 of the dense compute_times_s array of CampaignConfig.smoke(app)
+# (seed 7, 1 trial x 2 processes x 12 iterations x 16 threads) on the
+# batched backend, recorded when the backend was introduced.
+BATCHED_SMOKE_DIGESTS = {
+    "minife": "38e1df999ecd7cff5bb430b8c9a10682ac903a5a0fd3df2ab538e9fda716a791",
+    "minimd": "f8124167d5444cb073b34ff4c38bf32d7a39c34f4e271a835854d44a5cda73f8",
+    "miniqmc": "33073ad318b758ef6da903e4cfb7c457b5e512c7fe240164ea96da0fed1a3b47",
+}
+
+
+def _digest(dataset) -> str:
+    blob = np.ascontiguousarray(dataset.compute_times_s, dtype=np.float64).tobytes()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _smoke(application: str, **overrides) -> CampaignConfig:
+    config = CampaignConfig.smoke(application).with_backend("batched")
+    if overrides:
+        import dataclasses
+
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+class TestRegistration:
+    def test_batched_backend_is_registered(self):
+        assert "batched" in available_backends()
+        assert get_backend("batched").name == "batched"
+
+    def test_metadata_carries_backend_label(self):
+        meta = get_backend("batched").metadata(_smoke("minife"))
+        assert meta["backend"] == "batched"
+
+
+class TestPinnedDigests:
+    @pytest.mark.parametrize("application", sorted(BATCHED_SMOKE_DIGESTS))
+    def test_batched_campaign_matches_recorded_digest(self, application):
+        dataset = CampaignSession(_smoke(application)).run().dataset
+        assert _digest(dataset) == BATCHED_SMOKE_DIGESTS[application]
+
+    @pytest.mark.parametrize("application", sorted(BATCHED_SMOKE_DIGESTS))
+    def test_batched_shape_matches_vectorized(self, application):
+        batched = CampaignSession(_smoke(application)).run().dataset
+        vectorized = CampaignSession(CampaignConfig.smoke(application)).run().dataset
+        assert batched.n_samples == vectorized.n_samples
+        assert batched.is_dense()
+        for column in ("trial", "process", "iteration", "thread"):
+            assert np.array_equal(batched.column(column), vectorized.column(column))
+
+
+class TestParallelBitIdentity:
+    @pytest.mark.parametrize("max_workers", [2, 3])
+    @pytest.mark.parametrize("mode", ["process", "thread"])
+    def test_parallel_run_is_bit_identical_to_serial(self, max_workers, mode):
+        serial = CampaignSession(_smoke("minife")).run().dataset
+        parallel = CampaignSession(
+            _smoke("minife", max_workers=max_workers), executor_mode=mode
+        ).run().dataset
+        assert np.array_equal(serial.compute_times_s, parallel.compute_times_s)
+
+    def test_streamed_shards_match_merged_run(self):
+        config = _smoke("minimd")
+        session = CampaignSession(config)
+        streamed = list(session.stream())
+        merged = session.run(use_cache=False).dataset
+        from repro.core.timing import TimingDataset
+
+        assert np.array_equal(
+            TimingDataset.merge(streamed).compute_times_s, merged.compute_times_s
+        )
+
+
+class TestRecordBlock:
+    def test_record_block_matches_per_iteration_recording(self):
+        rng = np.random.default_rng(5)
+        times = np.abs(rng.normal(25e-3, 1e-3, size=(7, 5)))
+        columnar = RegionInstrumenter(region="r", application="a")
+        columnar.record_block(trial=2, process=3, compute_times_s=times)
+        rowwise = RegionInstrumenter(region="r", application="a")
+        for iteration, row in enumerate(times):
+            rowwise.record_compute_times(
+                trial=2, process=3, iteration=iteration, compute_times_s=row
+            )
+        a, b = columnar.dataset(), rowwise.dataset()
+        assert a.columns == b.columns
+        for name in a.columns:
+            assert np.array_equal(a.column(name), b.column(name)), name
+
+    def test_record_block_interleaves_with_row_records(self):
+        instrumenter = RegionInstrumenter()
+        instrumenter.record_compute_times(
+            trial=0, process=0, iteration=0, compute_times_s=[1e-3, 2e-3]
+        )
+        instrumenter.record_block(
+            trial=0,
+            process=1,
+            compute_times_s=np.full((2, 2), 3e-3),
+            first_iteration=1,
+        )
+        dataset = instrumenter.dataset()
+        assert instrumenter.n_records == 6
+        assert dataset.column("process").tolist() == [0, 0, 1, 1, 1, 1]
+        assert dataset.column("iteration").tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_record_block_rejects_bad_input(self):
+        instrumenter = RegionInstrumenter()
+        with pytest.raises(ValueError):
+            instrumenter.record_block(
+                trial=0, process=0, compute_times_s=np.ones(4)
+            )
+        with pytest.raises(ValueError):
+            instrumenter.record_block(
+                trial=0, process=0, compute_times_s=-np.ones((2, 2))
+            )
+
+    def test_reset_discards_blocks(self):
+        instrumenter = RegionInstrumenter()
+        instrumenter.record_block(trial=0, process=0, compute_times_s=np.ones((2, 2)))
+        instrumenter.reset()
+        assert instrumenter.n_records == 0
+
+    def test_recorded_values_are_decoupled_from_the_input_buffer(self):
+        # callers may reuse a preallocated matrix across record_block calls
+        buffer = np.full((2, 3), 1e-3)
+        instrumenter = RegionInstrumenter()
+        instrumenter.record_block(trial=0, process=0, compute_times_s=buffer)
+        buffer[:] = 9.0
+        instrumenter.record_block(
+            trial=0, process=1, compute_times_s=buffer, first_iteration=0
+        )
+        recorded = instrumenter.dataset().column("compute_time_s")
+        np.testing.assert_array_equal(recorded[:6], np.full(6, 1e-3))
+        np.testing.assert_array_equal(recorded[6:], np.full(6, 9.0))

@@ -33,7 +33,18 @@ def test_normality_statistics_are_finite_and_pvalues_bounded(groups):
 @given(sample_groups)
 @settings(max_examples=60, deadline=None)
 def test_tests_are_location_and_scale_invariant(groups):
-    """Affine transforms (unit changes) must not change any decision."""
+    """Affine transforms (unit changes) must not change any decision.
+
+    The property only holds for groups whose spread is numerically
+    meaningful: when a group's range is a few ULPs the test statistics are
+    computed on float rounding noise, and an affine transform rewrites that
+    noise (e.g. collapsing a 1-ULP spread to exactly constant), so
+    decisions on such degenerate groups are arbitrary either way.
+    """
+    from hypothesis import assume
+
+    spreads = np.ptp(groups, axis=1)
+    assume(np.all(spreads > 1e-9 * np.max(np.abs(groups), axis=1)))
     battery = NormalityBattery()
     base = battery.run(groups)
     transformed = battery.run(groups * 1e3 + 17.0)

@@ -162,3 +162,34 @@ class TestMiniFEApp:
             MiniFEConfig(straggler_probability=2.0)
         with pytest.raises(ValueError):
             MiniFEConfig(straggler_min_s=2e-3, straggler_max_s=1e-3)
+
+
+class TestBatchedWorkModel:
+    def test_base_thread_times_batch_broadcasts_cached_row(self):
+        app = MiniFEApp(MiniFEConfig(nx=24, ny=24, nz=24, n_threads=8, n_iterations=5))
+        rng = np.random.default_rng(0)
+        batch = app.base_thread_times_batch(0, 5, rng)
+        assert batch.shape == (5, 8)
+        row = app.base_thread_times(0, 0, np.random.default_rng(0))
+        np.testing.assert_array_equal(batch, np.tile(row, (5, 1)))
+
+    def test_application_delays_batch_straggler_statistics(self):
+        app = MiniFEApp(
+            MiniFEConfig(nx=24, ny=24, nz=24, n_threads=8, straggler_probability=0.5)
+        )
+        delays = app.application_delays_batch(0, 400, np.random.default_rng(1))
+        assert delays.shape == (400, 8)
+        struck = delays > 0
+        # at most one victim per iteration, delay inside the configured range
+        assert np.all(struck.sum(axis=1) <= 1)
+        hit_rows = struck.any(axis=1)
+        assert 0.35 < hit_rows.mean() < 0.65
+        values = delays[struck]
+        assert np.all(values >= app.config.straggler_min_s)
+        assert np.all(values <= app.config.straggler_max_s)
+
+    def test_thread_compute_times_batch_shape_and_positivity(self):
+        app = MiniFEApp(MiniFEConfig(nx=24, ny=24, nz=24, n_threads=8, n_iterations=6))
+        times = app.thread_compute_times_batch(process=0, rng=np.random.default_rng(2))
+        assert times.shape == (6, 8)
+        assert np.all(times > 0)

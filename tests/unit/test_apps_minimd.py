@@ -126,3 +126,26 @@ class TestMiniMDApp:
             MiniMDConfig(problem_cells=0)
         with pytest.raises(ValueError):
             MiniMDConfig(warmup_iterations=-1)
+
+
+class TestBatchedWorkModel:
+    def test_item_costs_batch_shape_and_scale(self):
+        app = MiniMDApp(MiniMDConfig(n_threads=8, n_iterations=10))
+        costs = app.item_costs_batch(0, 10, np.random.default_rng(0))
+        assert costs.shape == (10, 8)
+        single = app.item_costs(0, 0, np.random.default_rng(0))
+        assert costs.mean() == pytest.approx(single.mean(), rel=0.01)
+
+    def test_application_delays_batch_limits_to_warmup_rows(self):
+        app = MiniMDApp(MiniMDConfig(n_threads=8, warmup_iterations=3))
+        delays = app.application_delays_batch(0, 10, np.random.default_rng(1))
+        assert delays.shape == (10, 8)
+        assert np.all(delays[:3] >= 0)
+        assert np.any(delays[:3] > 0)
+        assert np.all(delays[3:] == 0)
+
+    def test_short_shards_clip_the_warmup_window(self):
+        app = MiniMDApp(MiniMDConfig(n_threads=4, warmup_iterations=19))
+        delays = app.application_delays_batch(0, 5, np.random.default_rng(2))
+        assert delays.shape == (5, 4)
+        assert np.any(delays > 0)

@@ -111,3 +111,17 @@ class TestMiniQMCApp:
             MiniQMCConfig(n_electrons=0)
         with pytest.raises(ValueError):
             MiniQMCApp(MiniQMCConfig(process_sd_spread=1.5))
+
+
+class TestBatchedWorkModel:
+    def test_item_costs_batch_matches_single_draw_statistics(self):
+        app = MiniQMCApp(MiniQMCConfig(n_threads=48, n_iterations=50))
+        app.begin_process(0, np.random.default_rng(0))
+        batch = app.item_costs_batch(0, 50, np.random.default_rng(1))
+        assert batch.shape == (50, 48)
+        # same truncation floor as the per-iteration path
+        assert np.all(batch >= 0.2 * app.mover_mean_s)
+        singles = np.stack(
+            [app.item_costs(0, it, np.random.default_rng(2)) for it in range(50)]
+        )
+        assert batch.mean() == pytest.approx(singles.mean(), rel=0.02)

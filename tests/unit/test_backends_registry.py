@@ -18,7 +18,7 @@ from repro.experiments.config import CampaignConfig
 
 class TestRegistry:
     def test_builtins_are_registered(self):
-        assert {"vectorized", "event", "chunked"} <= set(available_backends())
+        assert {"vectorized", "batched", "event", "chunked"} <= set(available_backends())
 
     def test_get_backend_returns_named_instances(self):
         for name in available_backends():

@@ -127,6 +127,148 @@ class TestResultCaching:
         )
 
 
+class TestAnalysisProductCaching:
+    def test_repeat_analyze_hits_the_product_cache(self, smoke_config, tmp_path):
+        session = CampaignSession(smoke_config, cache_dir=tmp_path)
+        first = session.analyze(analyses=["percentiles", "laggards"])
+        assert session.analysis_cache_hits == 0
+        assert session.analysis_cache_misses == 2
+        assert len(list(tmp_path.glob("analysis_minife_*.pkl"))) == 2
+        second = session.analyze(analyses=["percentiles", "laggards"])
+        assert session.analysis_cache_hits == 2
+        assert session.analysis_cache_misses == 2
+        np.testing.assert_array_equal(
+            first["percentiles"].mean_median(),
+            second["percentiles"].mean_median(),
+        )
+
+    def test_cache_survives_sessions_without_recomputing(self, smoke_config, tmp_path):
+        warm = CampaignSession(smoke_config, cache_dir=tmp_path)
+        reference = warm.analyze(analyses=["percentiles"])
+        fresh = CampaignSession(smoke_config, cache_dir=tmp_path)
+        hit = fresh.analyze(analyses=["percentiles"])
+        assert fresh.analysis_cache_hits == 1
+        assert fresh.analysis_cache_misses == 0
+        assert hit.application == "minife"
+        np.testing.assert_array_equal(
+            reference["percentiles"].mean_median(),
+            hit["percentiles"].mean_median(),
+        )
+
+    def test_partial_hits_recompute_only_missing_passes(self, smoke_config, tmp_path):
+        CampaignSession(smoke_config, cache_dir=tmp_path).analyze(
+            analyses=["percentiles"]
+        )
+        session = CampaignSession(smoke_config, cache_dir=tmp_path)
+        results = session.analyze(analyses=["percentiles", "laggards"])
+        assert session.analysis_cache_hits == 1
+        assert session.analysis_cache_misses == 1
+        assert sorted(results) == ["laggards", "percentiles"]
+
+    def test_exact_flag_and_config_key_the_cache(self, smoke_config, tmp_path):
+        session = CampaignSession(smoke_config, cache_dir=tmp_path)
+        session.analyze(analyses=["percentiles"])
+        session.analyze(analyses=["percentiles"], exact=False)
+        assert session.analysis_cache_misses == 2
+        other = CampaignSession(
+            CampaignConfig.smoke(seed=8), cache_dir=tmp_path
+        )
+        other.analyze(analyses=["percentiles"])
+        assert other.analysis_cache_hits == 0
+        assert other.analysis_cache_misses == 1
+
+    def test_no_cache_dir_disables_counters(self, smoke_config):
+        session = CampaignSession(smoke_config)
+        session.analyze(analyses=["percentiles"])
+        assert session.analysis_cache_hits == 0
+        assert session.analysis_cache_misses == 0
+
+    def test_default_repr_parameters_key_stably(self, smoke_config, tmp_path):
+        # EarlybirdPass holds an EarlyBirdModel with no __repr__; the key
+        # must not embed its memory address (which changes every process)
+        from repro.analysis import get_analysis
+
+        session = CampaignSession(smoke_config, cache_dir=tmp_path)
+        paths = {
+            session._analysis_cache_path(smoke_config, get_analysis("earlybird"), True)
+            for _ in range(3)
+        }
+        assert len(paths) == 1
+        key = session._describe_param(get_analysis("earlybird").model)
+        assert "0x" not in key and "EarlyBirdModel" in key
+
+    def test_earlybird_products_hit_the_cache_across_sessions(
+        self, smoke_config, tmp_path
+    ):
+        CampaignSession(smoke_config, cache_dir=tmp_path).analyze(
+            analyses=["earlybird"]
+        )
+        fresh = CampaignSession(smoke_config, cache_dir=tmp_path)
+        fresh.analyze(analyses=["earlybird"])
+        assert fresh.analysis_cache_hits == 1
+        assert fresh.analysis_cache_misses == 0
+
+    def test_large_array_parameters_key_distinct_entries(self, smoke_config, tmp_path):
+        # repr() elides big arrays to '...'; the key must hash full contents
+        from repro.analysis import get_analysis
+
+        session = CampaignSession(smoke_config, cache_dir=tmp_path)
+        a, b = get_analysis("percentiles"), get_analysis("percentiles")
+        a.big, b.big = np.arange(10_000), np.arange(10_000) * 2
+        path_a = session._analysis_cache_path(smoke_config, a, True)
+        path_b = session._analysis_cache_path(smoke_config, b, True)
+        assert path_a != path_b
+        b.big = np.arange(10_000)
+        assert session._analysis_cache_path(smoke_config, b, True) == path_a
+
+    def test_container_parameters_describe_their_contents(self, smoke_config, tmp_path):
+        # repr() of a list/dict elides nested big arrays and embeds object
+        # addresses; containers must be described element-wise instead
+        session = CampaignSession(smoke_config, cache_dir=tmp_path)
+        a = session._describe_param([np.arange(5000)])
+        b = session._describe_param([np.arange(5000) * 2])
+        assert a != b and "..." not in a
+        assert "ndarray" in session._describe_param({"edges": np.arange(5000)})
+
+        class Opaque:
+            __slots__ = ()
+
+        assert session._describe_param({"model": Opaque()}) is None
+        assert session._describe_param((1, "x", 2.5)) == "tuple[1;'x';2.5]"
+
+    def test_slotted_parameters_are_described_stably(self, smoke_config, tmp_path):
+        from repro.analysis import get_analysis
+
+        class SlottedParam:
+            __slots__ = ("threshold",)
+
+            def __init__(self, threshold):
+                self.threshold = threshold
+
+        session = CampaignSession(smoke_config, cache_dir=tmp_path)
+        p = get_analysis("percentiles")
+        p.knob = SlottedParam(0.5)
+        described = session._describe_param(p.knob)
+        assert "0x" not in described and "threshold=0.5" in described
+        assert session._analysis_cache_path(
+            smoke_config, p, True
+        ) == session._analysis_cache_path(smoke_config, p, True)
+
+    def test_indescribable_parameters_disable_caching_with_a_warning(
+        self, smoke_config, tmp_path
+    ):
+        from repro.analysis import get_analysis
+
+        class Opaque:  # default repr, no __dict__, no slots payload
+            __slots__ = ()
+
+        session = CampaignSession(smoke_config, cache_dir=tmp_path)
+        p = get_analysis("percentiles")
+        p.knob = Opaque()
+        with pytest.warns(RuntimeWarning, match="no stable description"):
+            assert session._analysis_cache_path(smoke_config, p, True) is None
+
+
 class TestShardIO:
     def test_shard_round_trip(self, smoke_config, tmp_path):
         shards = list(CampaignSession(smoke_config).stream())

@@ -9,6 +9,7 @@ from repro.openmp.schedule import (
     StaticSchedule,
     schedule_from_name,
     segment_sums,
+    segment_sums_2d,
 )
 
 
@@ -29,6 +30,24 @@ class TestSegmentSums:
     def test_decreasing_offsets_rejected(self):
         with pytest.raises(ValueError):
             segment_sums(np.arange(4.0), [0, 3, 1])
+
+
+class TestSegmentSums2D:
+    def test_rows_match_1d_segment_sums(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(size=(6, 17))
+        offsets = [0, 4, 4, 11, 15]
+        batched = segment_sums_2d(values, offsets)
+        for i, row in enumerate(values):
+            np.testing.assert_array_equal(batched[i], segment_sums(row, offsets))
+
+    def test_requires_2d_input(self):
+        with pytest.raises(ValueError):
+            segment_sums_2d(np.arange(4.0), [0, 2, 4])
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            segment_sums_2d(np.ones((2, 4)), [0, 3, 1])
 
 
 def _coverage_ok(assignment, n_items):
@@ -106,6 +125,58 @@ class TestGuidedSchedule:
         assert sizes[0] > sizes[-1]
         assert min(sizes[:-1]) >= 2
         assert _coverage_ok(outcome.assignment, 100)
+
+
+class TestSimulateBatch:
+    """The batch kernels must be row-for-row bit-identical to simulate()."""
+
+    SCHEDULES = [
+        StaticSchedule(),
+        StaticSchedule(chunk=3),
+        DynamicSchedule(chunk=4),
+        GuidedSchedule(min_chunk=2),
+    ]
+
+    @pytest.mark.parametrize("schedule", SCHEDULES, ids=lambda s: repr(s))
+    @pytest.mark.parametrize("n_items, n_threads", [(40, 7), (5, 8), (48, 48)])
+    def test_batch_matches_per_row_simulate(self, schedule, n_items, n_threads):
+        rng = np.random.default_rng(11)
+        costs = rng.uniform(0.5, 1.5, size=(5, n_items))
+        batched = schedule.simulate_batch(costs, n_threads)
+        assert batched.shape == (5, n_threads)
+        for i, row in enumerate(costs):
+            np.testing.assert_array_equal(
+                batched[i], schedule.simulate(row, n_threads).busy_time
+            )
+
+    def test_batch_rejects_1d_costs(self):
+        with pytest.raises(ValueError):
+            StaticSchedule().simulate_batch(np.ones(8), 2)
+
+    def test_batch_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            StaticSchedule().simulate_batch(-np.ones((2, 8)), 2)
+
+
+class TestStaticAssignmentMemoization:
+    def test_repeated_calls_share_the_cached_arrays(self):
+        first = StaticSchedule().static_assignment(200, 48)
+        second = StaticSchedule().static_assignment(200, 48)
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_cached_arrays_are_read_only(self):
+        assignment = StaticSchedule(chunk=4).static_assignment(64, 8)
+        with pytest.raises(ValueError):
+            assignment[0][0] = 99
+        offsets = StaticSchedule._block_offsets(200, 48)
+        with pytest.raises(ValueError):
+            offsets[0] = 99
+
+    def test_chunked_and_chunkless_keys_do_not_collide(self):
+        plain = StaticSchedule().static_assignment(8, 2)
+        chunked = StaticSchedule(chunk=2).static_assignment(8, 2)
+        assert plain[0].tolist() == [0, 1, 2, 3]
+        assert chunked[0].tolist() == [0, 1, 4, 5]
 
 
 class TestScheduleFromName:
