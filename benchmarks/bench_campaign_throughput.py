@@ -7,11 +7,16 @@ backend (``vectorized`` / ``batched`` / ``chunked`` at benchmark scale,
 
 Every backend benchmark stores ``samples_per_second`` in the pytest-benchmark
 ``extra_info``, so the CI benchmark job's ``bench.json`` carries per-backend
-throughput alongside the raw timings.  ``test_batched_speedup_guard`` is the
-regression guard for the batched shard kernel: it fails the benchmark job if
-the batched/vectorized speedup drops below 3x (the kernel's win at benchmark
+throughput alongside the raw timings; the schedule sweep additionally tags
+each entry with its schedule clause, giving a per-(backend, schedule)
+samples/sec table.  ``test_batched_speedup_guard`` is the regression guard
+for the batched shard kernel: it fails the benchmark job if the
+batched/vectorized speedup drops below 3x (the kernel's win at benchmark
 scale is ~9-18x depending on the application, so 3x trips only on a real
-regression, not on machine noise).
+regression, not on machine noise).  ``test_batched_workqueue_speedup_guard``
+is the same guard for the row-vectorized work-queue kernel on a
+``dynamic``-schedule campaign — the clause the per-row heap replay used to
+bottleneck.
 """
 
 import time
@@ -27,9 +32,27 @@ from repro.stats.battery import NormalityBattery
 #: vectorized at benchmark scale
 MIN_BATCHED_SPEEDUP = 3.0
 
+#: same threshold for the work-queue (dynamic/guided) batch kernel
+MIN_WORKQUEUE_SPEEDUP = 3.0
+
+#: the paper's scheduling clauses, swept per backend below
+SCHEDULE_CLAUSES = ("static", "dynamic", "dynamic,4", "guided")
+
 
 def _run_backend(config):
     return get_backend(config.backend).run(config)
+
+
+def _best_rate(config, repeats: int = 3) -> float:
+    """Best-of-N samples/sec of one campaign configuration."""
+    runner = get_backend(config.backend)
+    runner.run(config)  # warm-up: calibration, allocator, caches
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        dataset = runner.run(config)
+        best = min(best, time.perf_counter() - start)
+    return dataset.n_samples / best
 
 
 @pytest.mark.parametrize("backend", ["vectorized", "batched", "chunked"])
@@ -62,6 +85,32 @@ def test_batched_backend_throughput_per_app(benchmark, application):
     )
 
 
+@pytest.mark.parametrize("schedule", SCHEDULE_CLAUSES)
+@pytest.mark.parametrize("backend", ["vectorized", "batched"])
+def test_campaign_schedule_throughput(benchmark, backend, schedule):
+    """Per-(backend, schedule) sampling throughput.
+
+    The work-queue clauses (``dynamic``/``guided``) are where the batched
+    backend's row-vectorized replay replaced the per-row heap loop; the CI
+    benchmark job prints this table from ``bench.json``.  MiniMD is the app
+    whose per-iteration neighbour-count fluctuations make every iteration a
+    fresh schedule fold (MiniFE's matrix is deterministic, so both backends
+    fold its schedule once per shard and the clause barely matters there).
+    """
+    config = CampaignConfig(
+        application="minimd", trials=1, processes=2, iterations=200, threads=48,
+        seed=1, backend=backend, schedule=schedule,
+    )
+    benchmark.group = "campaign-schedules"
+    dataset = benchmark(_run_backend, config)
+    assert dataset.n_samples == config.samples_per_application
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["schedule"] = schedule
+    benchmark.extra_info["samples_per_second"] = (
+        dataset.n_samples / benchmark.stats.stats.min
+    )
+
+
 def test_event_campaign_throughput(benchmark):
     config = CampaignConfig(
         application="miniqmc", trials=1, processes=1, iterations=10, threads=24,
@@ -80,25 +129,36 @@ def test_event_campaign_throughput(benchmark):
 def test_batched_speedup_guard():
     """Regression guard: the batched kernel must stay >= 3x the vectorized
     path at benchmark scale (measured headroom is ~9x on MiniFE)."""
-
-    def best_rate(backend: str, repeats: int = 3) -> float:
-        config = CampaignConfig.benchmark_scale("minife").with_backend(backend)
-        runner = get_backend(backend)
-        runner.run(config)  # warm-up: calibration, allocator, caches
-        best = np.inf
-        for _ in range(repeats):
-            start = time.perf_counter()
-            dataset = runner.run(config)
-            best = min(best, time.perf_counter() - start)
-        return dataset.n_samples / best
-
-    vectorized = best_rate("vectorized")
-    batched = best_rate("batched")
+    base = CampaignConfig.benchmark_scale("minife")
+    vectorized = _best_rate(base.with_backend("vectorized"))
+    batched = _best_rate(base.with_backend("batched"))
     speedup = batched / vectorized
     assert speedup >= MIN_BATCHED_SPEEDUP, (
         f"batched backend is only {speedup:.1f}x the vectorized path "
         f"({batched:,.0f} vs {vectorized:,.0f} samples/s); the shard kernel "
         f"has regressed below the {MIN_BATCHED_SPEEDUP}x guard"
+    )
+
+
+def test_batched_workqueue_speedup_guard():
+    """Regression guard for the row-vectorized work-queue kernel: on a
+    ``dynamic``-schedule campaign the batched backend must stay >= 3x the
+    vectorized path.  Before the kernel existed ``simulate_batch`` replayed
+    dynamic rows one at a time through the Python heap loop and the two
+    backends ran neck-and-neck on this clause.  MiniMD because its
+    per-iteration cost fluctuations force a schedule fold per row — the path
+    the kernel vectorizes (measured headroom ~19x; MiniFE's deterministic
+    matrix folds once per shard on both backends, so it cannot expose a
+    work-queue regression)."""
+    base = CampaignConfig.benchmark_scale("minimd").with_schedule("dynamic")
+    vectorized = _best_rate(base.with_backend("vectorized"))
+    batched = _best_rate(base.with_backend("batched"))
+    speedup = batched / vectorized
+    assert speedup >= MIN_WORKQUEUE_SPEEDUP, (
+        f"batched backend is only {speedup:.1f}x the vectorized path on a "
+        f"dynamic schedule ({batched:,.0f} vs {vectorized:,.0f} samples/s); "
+        f"the work-queue kernel has regressed below the "
+        f"{MIN_WORKQUEUE_SPEEDUP}x guard"
     )
 
 

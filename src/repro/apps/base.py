@@ -120,7 +120,14 @@ class ProxyApplication(ABC):
         self, process: int, n_iterations: int, rng: np.random.Generator
     ) -> np.ndarray:
         """Per-thread pure compute times ``(n_iterations, n_threads)`` of a
-        shard, folded through the schedule's batch kernel."""
+        shard, folded through the schedule's batch kernel.
+
+        Every built-in schedule vectorises this fold over the whole cost
+        matrix — the static clauses closed-form, dynamic/guided through the
+        row-vectorised work-queue replay — and each kernel is bit-identical
+        per row to its per-iteration ``simulate``, so the batched and
+        per-iteration paths diverge only in random draw *order*, never in
+        the schedule fold itself."""
         costs = self.item_costs_batch(process, n_iterations, rng)
         return self.config.schedule.simulate_batch(costs, self.config.n_threads)
 

@@ -22,7 +22,13 @@ models the parts of that platform that shape per-thread timing measurements:
 
 from repro.cluster.clock import ClockSpec, MonotonicClock
 from repro.cluster.config import MachineConfig, laptop, manzano
-from repro.cluster.noise import NoiseEvent, NoiseSourceSpec, NoiseSpec, OSNoiseModel
+from repro.cluster.noise import (
+    NoiseEvent,
+    NoiseSourceSpec,
+    NoiseSpec,
+    OSNoiseModel,
+    WindowedNoiseModel,
+)
 from repro.cluster.topology import Cluster, Core, Node, Socket
 
 __all__ = [
@@ -33,6 +39,7 @@ __all__ = [
     "MonotonicClock",
     "ClockSpec",
     "OSNoiseModel",
+    "WindowedNoiseModel",
     "NoiseSpec",
     "NoiseSourceSpec",
     "NoiseEvent",

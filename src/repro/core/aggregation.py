@@ -30,6 +30,11 @@ import numpy as np
 
 from repro.core.timing import TimingDataset, TimingShard
 
+# re-exported for the analysis layer: the 2-D scatter-add primitive lives
+# next to the schedule batch kernels that are its hottest consumers (and in
+# a leaf module, which keeps this package's import graph acyclic)
+from repro.openmp.schedule import scatter_add_2d  # noqa: F401
+
 
 class AggregationLevel(enum.Enum):
     """The paper's three groupings of thread arrival samples."""

@@ -20,9 +20,12 @@ campaign layer without touching it.  Three backends ship with the package:
 * ``"batched"`` — the whole-shard kernel: one (trial, process) shard is
   sampled as a few large-array operations over an
   ``(n_iterations, n_threads)`` matrix instead of ``n_iterations`` small
-  per-iteration passes.  Fastest by a wide margin; draws its randomness in
-  a different order than ``"vectorized"``, so the two agree in distribution
-  but not bit-for-bit (the batched backend pins its own digests).
+  per-iteration passes.  Fastest by a wide margin for *every* schedule
+  clause — static folds closed-form, dynamic/guided through the
+  row-vectorised work-queue replay (bit-identical per row to the
+  per-iteration ``simulate``).  Draws its randomness in a different order
+  than ``"vectorized"``, so the two agree in distribution but not
+  bit-for-bit (the batched backend pins its own digests).
 
 Every backend decomposes its campaign into *shards* (:meth:`shard_specs` /
 :meth:`run_shard`).  A shard re-derives all of its random streams from the
@@ -321,6 +324,14 @@ class EventBackend(CampaignBackend):
     clocks lazily as processes touch their cores, so splitting a trial across
     workers would change the draw order.  Within a shard the processes run in
     serial order, which keeps results bit-identical to a fully serial run.
+
+    Noise is served from a :class:`~repro.cluster.noise.WindowedNoiseModel`:
+    each (core, trial) owns one pre-generated event timeline extended a whole
+    window at a time, so ``run_region`` stops drawing noise events iteration
+    by iteration — region execution queries the cached timeline instead.
+    (Adopting the windowed model changed the backend's noise draw order, so
+    its reference digest was re-recorded; distributional agreement with the
+    vectorized path is unchanged.)
     """
 
     def shard_specs(self, config: "CampaignConfig") -> List[ShardSpec]:
@@ -343,7 +354,9 @@ class EventBackend(CampaignBackend):
             work_rng = streams.get(app.name, "work", trial, process)
             noise_rng = streams.get(app.name, "noise", trial, process)
             team_rng = streams.get(app.name, "team", trial, process)
-            noise = config.machine.build_noise_model(noise_rng)
+            # windowed: one pre-generated noise timeline per (core, trial)
+            # window instead of a fresh draw per delay query
+            noise = config.machine.build_noise_model(noise_rng, windowed=True)
             app.begin_process(process, work_rng)
             team = ThreadTeam(placements[process], clock_domain, noise, rng=team_rng)
             runtime = OpenMPRuntime(team)

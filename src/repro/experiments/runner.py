@@ -105,8 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         choices=sorted(available_backends()),
-        default="vectorized",
-        help="execution backend from the registry (default: vectorized)",
+        # None (not "vectorized") so a scenario's own backend pin is only
+        # overridden when the flag is passed explicitly
+        default=None,
+        help="execution backend from the registry (default: the scenario's "
+        "backend if one is pinned, else vectorized)",
     )
     parser.add_argument(
         "--max-workers",
@@ -223,7 +226,7 @@ def _configure(args: argparse.Namespace, application: str) -> CampaignConfig:
         config = replace(
             config,
             seed=args.seed if args.seed is not None else config.seed,
-            backend=args.backend,
+            backend=args.backend if args.backend is not None else config.backend,
             max_workers=args.max_workers,
             machine=(
                 get_machine(args.machine) if args.machine is not None else config.machine
@@ -251,7 +254,8 @@ def _print_catalogs(args: argparse.Namespace) -> None:
                 print(
                     f"{row['name']:24s} machine={row['machine']:10s} "
                     f"app={row['application']:8s} noise={row['noise']:18s} "
-                    f"schedule={row['schedule']:14s} {row['description']}"
+                    f"schedule={row['schedule']:14s} "
+                    f"backend={row['backend']:18s} {row['description']}"
                 )
     if args.list_machines:
         for name in available_machines():

@@ -18,7 +18,11 @@ Two equivalent execution paths are provided:
 * :meth:`OpenMPRuntime.run_region` (``detailed=True``) — every thread is a
   process on the discrete-event engine; the entry barrier, per-chunk work,
   noise preemptions and the exit barrier all happen as events.  Used by the
-  examples and by small-scale integration tests.
+  examples, by small-scale integration tests and by the ``"event"``
+  campaign backend (which hands the team a
+  :class:`~repro.cluster.noise.WindowedNoiseModel`, so the per-chunk noise
+  queries here read a pre-generated per-core timeline instead of drawing
+  events query by query).
 * :meth:`OpenMPRuntime.run_region` (``detailed=False``, default) — the same
   schedule/cost/noise models evaluated in closed form, without the engine.
   Used by the full-scale campaign.  For static schedules with a fixed noise

@@ -28,6 +28,36 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 
+def scatter_add_2d(
+    target: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    *,
+    unique: bool = False,
+) -> np.ndarray:
+    """``target[rows, cols] += values`` with explicit duplicate semantics.
+
+    The campaign kernels scatter per-chunk sums into ``(instances, threads)``
+    matrices; this is the one place that codifies how.  With ``unique=True``
+    the caller asserts every ``(row, col)`` pair occurs at most once, so the
+    buffered fancy-indexed add is safe — and much faster than ``np.add.at``
+    (the work-queue kernel's per-chunk scatter picks exactly one thread per
+    row).  With the default ``unique=False`` duplicates accumulate through
+    the unbuffered ``np.add.at`` (the round-robin static kernel deals many
+    chunks to the same thread).  ``rows``/``cols`` may broadcast against
+    ``values``.  Returns ``target`` (mutated in place).
+
+    Defined here (a leaf module, like :func:`segment_sums`) and re-exported
+    by :mod:`repro.core.aggregation` for the analysis layer.
+    """
+    if unique:
+        target[rows, cols] += values
+    else:
+        np.add.at(target, (rows, cols), values)
+    return target
+
+
 def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     """Per-segment sums of contiguous blocks, in one ``np.add.reduceat`` call.
 
@@ -97,6 +127,49 @@ def _static_block_offsets(n_items: int, n_threads: int) -> np.ndarray:
 
 
 @lru_cache(maxsize=1024)
+def _dynamic_chunk_layout(n_items: int, chunk: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(sizes, bounds)`` of the dynamic chunk decomposition.
+
+    ``sizes`` are the hand-out chunk lengths; ``bounds`` are the cumulative
+    boundaries clamped to ``n_items`` (the last chunk may be short).  Both
+    arrays are shared and read-only: every ``simulate``/``simulate_batch``
+    call on a ``dynamic`` clause re-asks for the same ``(n_items, chunk)``
+    layout, so it is computed once.
+    """
+    n_chunks = (n_items + chunk - 1) // chunk
+    sizes = np.full(n_chunks, chunk, dtype=np.int64)
+    bounds = np.minimum(np.concatenate(([0], np.cumsum(sizes))), n_items)
+    sizes.setflags(write=False)
+    bounds.setflags(write=False)
+    return sizes, bounds
+
+
+@lru_cache(maxsize=1024)
+def _guided_chunk_layout(
+    n_items: int, n_threads: int, min_chunk: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(sizes, bounds)`` of the guided chunk decomposition.
+
+    The geometrically shrinking sizing loop is pure Python; memoizing per
+    ``(n_items, n_threads, min_chunk)`` runs it once per layout instead of
+    once per call (read-only shared arrays, mirroring
+    :func:`_static_assignment_cached`).
+    """
+    size_list: List[int] = []
+    remaining = n_items
+    while remaining > 0:
+        size = max(min_chunk, remaining // (2 * n_threads))
+        size = min(size, remaining)
+        size_list.append(size)
+        remaining -= size
+    sizes = np.asarray(size_list, dtype=np.int64)
+    bounds = np.minimum(np.concatenate(([0], np.cumsum(sizes))), n_items)
+    sizes.setflags(write=False)
+    bounds.setflags(write=False)
+    return sizes, bounds
+
+
+@lru_cache(maxsize=1024)
 def _static_assignment_cached(
     n_items: int, n_threads: int, chunk: Optional[int]
 ) -> Tuple[np.ndarray, ...]:
@@ -157,11 +230,12 @@ class LoopSchedule(ABC):
         ``costs`` has shape ``(n_instances, n_items)`` — one row per
         application iteration of a campaign shard; the return value is the
         ``(n_instances, n_threads)`` busy-time matrix.  The base
-        implementation replays each row through :meth:`simulate` (required
-        for work-queue schedules, whose assignment depends on the realised
-        costs); schedules with cost-independent assignments override this
-        with a closed-form fold over the whole matrix.  Every row is
-        bit-identical to ``simulate(costs[i], n_threads).busy_time``.
+        implementation replays each row through :meth:`simulate` — the
+        fallback for custom schedules; every built-in schedule overrides it
+        with a vectorised whole-matrix kernel (closed-form folds for the
+        static clauses, the row-vectorised work-queue replay for
+        dynamic/guided).  Every row is bit-identical to
+        ``simulate(costs[i], n_threads).busy_time``.
         """
         arr = self._validate_batch(costs, n_threads)
         busy = np.empty((arr.shape[0], n_threads), dtype=np.float64)
@@ -269,9 +343,12 @@ class StaticSchedule(LoopSchedule):
         chunk_sums = segment_sums_2d(arr, self._chunk_offsets(n_items))
         busy = np.zeros((arr.shape[0], n_threads), dtype=np.float64)
         threads_of = np.arange(chunk_sums.shape[1]) % n_threads
-        np.add.at(
+        # round-robin deals many chunks to the same thread: duplicates must
+        # accumulate (unique=False)
+        scatter_add_2d(
             busy,
-            (np.arange(arr.shape[0])[:, None], threads_of[None, :]),
+            np.arange(arr.shape[0])[:, None],
+            threads_of[None, :],
             chunk_sums,
         )
         return busy
@@ -283,38 +360,116 @@ class StaticSchedule(LoopSchedule):
 class _WorkQueueSchedule(LoopSchedule):
     """Shared machinery for dynamic/guided: idle threads grab the next chunk."""
 
-    def _chunk_sizes(self, n_items: int, n_threads: int) -> List[int]:
+    def _chunk_layout(self, n_items: int, n_threads: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoized ``(sizes, bounds)`` chunk decomposition (read-only,
+        shared).  Chunk boundaries depend only on the loop geometry — never
+        on the realised costs — which is what makes the whole-matrix
+        work-queue replay of :meth:`simulate_batch` possible."""
         raise NotImplementedError
+
+    def _chunk_sizes(self, n_items: int, n_threads: int) -> np.ndarray:
+        """Hand-out chunk lengths (memoized read-only array)."""
+        return self._chunk_layout(n_items, n_threads)[0]
 
     def simulate(self, costs: np.ndarray, n_threads: int) -> ScheduleOutcome:
         arr = self._validate(costs, n_threads)
-        n_items = len(arr)
-        sizes = self._chunk_sizes(n_items, n_threads)
-        # clamp the chunk boundaries to the item count and pre-sum every
-        # chunk in one vectorised reduceat
-        bounds = np.minimum(np.concatenate(([0], np.cumsum(sizes))), n_items)
+        sizes, bounds = self._chunk_layout(len(arr), n_threads)
+        # non-empty chunks form a prefix (sizes are positive; clamping only
+        # flattens the tail)
+        n_chunks = int(np.count_nonzero(np.diff(bounds)))
+        # pre-sum every chunk in one vectorised reduceat
         chunk_costs = segment_sums(arr, bounds)
-        # priority queue of (available_time, thread); ties broken by thread id
+        # priority queue of (available_time, thread); ties broken by thread
+        # id.  The loop body is deliberately minimal — heap bookkeeping and
+        # the busy accumulation only; the per-chunk item arrays are rebuilt
+        # vectorised below (repeat + stable argsort) instead of one
+        # ``np.arange`` per chunk, which dominated wide loops like MiniFE's
+        # 40k-pencil mat-vec.
         heap = [(0.0, t) for t in range(n_threads)]
         heapq.heapify(heap)
-        assignment: List[List[np.ndarray]] = [[] for _ in range(n_threads)]
         busy = np.zeros(n_threads)
-        chunks: List[Tuple[int, int, int]] = []
-        for k in range(len(sizes)):
-            cursor, end = int(bounds[k]), int(bounds[k + 1])
-            if end <= cursor:
-                break
+        picks = np.empty(n_chunks, dtype=np.int64)
+        for k in range(n_chunks):
             available, thread = heapq.heappop(heap)
             cost = float(chunk_costs[k])
-            assignment[thread].append(np.arange(cursor, end))
             busy[thread] += cost
-            chunks.append((thread, cursor, end - cursor))
+            picks[k] = thread
             heapq.heappush(heap, (available + cost, thread))
-        merged = [
-            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
-            for parts in assignment
+        eff_sizes = np.diff(bounds[: n_chunks + 1])
+        chunks = [
+            (int(picks[k]), int(bounds[k]), int(eff_sizes[k]))
+            for k in range(n_chunks)
         ]
-        return ScheduleOutcome(assignment=merged, busy_time=busy, chunks=chunks)
+        # items sorted by executing thread, stable, is exactly "each thread's
+        # chunks concatenated in hand-out order" (chunks are handed out in
+        # ascending item order)
+        item_threads = np.repeat(picks, eff_sizes)
+        order = np.argsort(item_threads, kind="stable")
+        counts = np.bincount(item_threads, minlength=n_threads)
+        assignment = list(np.split(order, np.cumsum(counts)[:-1]))
+        return ScheduleOutcome(assignment=assignment, busy_time=busy, chunks=chunks)
+
+    def simulate_batch(self, costs: np.ndarray, n_threads: int) -> np.ndarray:
+        """Row-vectorised work-queue replay of many loop instances at once.
+
+        Chunk boundaries depend only on ``(n_items, n_threads[, chunk])``,
+        so every row shares the same hand-out sequence; only *which thread*
+        grabs chunk ``k`` depends on the realised costs.  The kernel
+        therefore pre-sums all per-chunk costs for the whole
+        ``(n_instances, n_items)`` matrix in one :func:`segment_sums_2d`
+        call and replays the "idle thread grabs the next chunk" policy for
+        all rows simultaneously: an ``(n_instances, n_threads)``
+        available-time matrix, one ``argmin`` per chunk (first-minimum ==
+        lowest thread id, exactly the heap's ``(time, thread)`` tie-break)
+        and one unique-index scatter-add per chunk.  ``n_instances`` heap
+        replays collapse into ``n_chunks`` vectorised steps, and every row
+        stays bit-identical to ``simulate(costs[i], n_threads).busy_time``
+        (same chunk sums, same adds in the same order — Hypothesis-pinned in
+        ``tests/property/test_prop_schedule.py``).
+        """
+        arr = self._validate_batch(costs, n_threads)
+        busy, _ = self._workqueue_replay(arr, n_threads, want_picks=False)
+        return busy
+
+    def simulate_batch_details(
+        self, costs: np.ndarray, n_threads: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch busy times plus the realised chunk-to-thread assignment.
+
+        Returns ``(busy, picks)`` where ``picks[i, k]`` is the thread that
+        executed hand-out chunk ``k`` of row ``i`` — the batch analogue of
+        ``ScheduleOutcome.chunks`` (used by the bit-equality tests and by
+        traces; :meth:`simulate_batch` skips building it).
+        """
+        arr = self._validate_batch(costs, n_threads)
+        return self._workqueue_replay(arr, n_threads, want_picks=True)
+
+    def _workqueue_replay(
+        self, arr: np.ndarray, n_threads: int, want_picks: bool
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        n_instances, n_items = arr.shape
+        _, bounds = self._chunk_layout(n_items, n_threads)
+        # non-empty chunks form a prefix (sizes are positive; clamping only
+        # flattens the tail), matching the heap replay's early break
+        n_chunks = int(np.count_nonzero(np.diff(bounds)))
+        chunk_costs = segment_sums_2d(arr, bounds)
+        available = np.zeros((n_instances, n_threads), dtype=np.float64)
+        busy = np.zeros((n_instances, n_threads), dtype=np.float64)
+        picks = (
+            np.empty((n_instances, n_chunks), dtype=np.int64) if want_picks else None
+        )
+        rows = np.arange(n_instances)
+        for k in range(n_chunks):
+            # first minimum per row == lowest thread id among the earliest
+            # available, the heap's (time, thread) ordering
+            thread = np.argmin(available, axis=1)
+            cost = chunk_costs[:, k]
+            # each row scatters to exactly one (row, thread) cell: unique
+            scatter_add_2d(available, rows, thread, cost, unique=True)
+            scatter_add_2d(busy, rows, thread, cost, unique=True)
+            if picks is not None:
+                picks[:, k] = thread
+        return busy, picks
 
 
 class DynamicSchedule(_WorkQueueSchedule):
@@ -327,9 +482,8 @@ class DynamicSchedule(_WorkQueueSchedule):
             raise ValueError("chunk must be >= 1")
         self.chunk = chunk
 
-    def _chunk_sizes(self, n_items: int, n_threads: int) -> List[int]:
-        n_chunks = (n_items + self.chunk - 1) // self.chunk
-        return [self.chunk] * n_chunks
+    def _chunk_layout(self, n_items: int, n_threads: int) -> Tuple[np.ndarray, np.ndarray]:
+        return _dynamic_chunk_layout(int(n_items), self.chunk)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DynamicSchedule(chunk={self.chunk})"
@@ -345,15 +499,8 @@ class GuidedSchedule(_WorkQueueSchedule):
             raise ValueError("min_chunk must be >= 1")
         self.min_chunk = min_chunk
 
-    def _chunk_sizes(self, n_items: int, n_threads: int) -> List[int]:
-        sizes: List[int] = []
-        remaining = n_items
-        while remaining > 0:
-            size = max(self.min_chunk, remaining // (2 * n_threads))
-            size = min(size, remaining)
-            sizes.append(size)
-            remaining -= size
-        return sizes
+    def _chunk_layout(self, n_items: int, n_threads: int) -> Tuple[np.ndarray, np.ndarray]:
+        return _guided_chunk_layout(int(n_items), int(n_threads), self.min_chunk)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GuidedSchedule(min_chunk={self.min_chunk})"

@@ -52,6 +52,11 @@ class Scenario:
     schedule:
         Optional OpenMP schedule clause (``"static"``, ``"dynamic,4"``,
         ``"guided"``); ``None`` keeps each application's default.
+    backend:
+        Optional campaign-backend name (``"batched"``, ``"event"``, ...)
+        pinning the execution strategy; ``None`` keeps the campaign default
+        (and an explicit ``backend=`` override to
+        :meth:`campaign_config` wins over both).
     machine_args:
         Keyword overrides forwarded to the machine factory.
     description:
@@ -63,6 +68,7 @@ class Scenario:
     application: str = "minife"
     noise: Optional[str] = None
     schedule: Optional[str] = None
+    backend: Optional[str] = None
     machine_args: Tuple[Tuple[str, object], ...] = ()
     description: str = ""
 
@@ -124,7 +130,11 @@ class Scenario:
             schedule=self.schedule,
             scenario=self.name,
             seed=seed if seed is not None else base.seed,
-            backend=backend if backend is not None else base.backend,
+            backend=(
+                backend
+                if backend is not None
+                else (self.backend if self.backend is not None else base.backend)
+            ),
             max_workers=max_workers if max_workers is not None else base.max_workers,
         )
 
@@ -149,6 +159,7 @@ class Scenario:
             "application": self.application,
             "noise": self.noise or "(machine default)",
             "schedule": self.schedule or "(app default)",
+            "backend": self.backend or "(campaign default)",
             "description": self.description,
         }
 
@@ -353,6 +364,14 @@ _BUILTIN_SCENARIOS = (
         name="manzano-guided",
         schedule="guided",
         description="Guided loop schedule on the paper platform",
+    ),
+    Scenario(
+        name="manzano-dynamic-batched",
+        schedule="dynamic,4",
+        backend="batched",
+        description="Dynamic schedule driven through the batched backend's "
+        "row-vectorized work-queue kernel (CI smoke of the batched "
+        "dynamic path)",
     ),
     Scenario(
         name="laptop-bursty",

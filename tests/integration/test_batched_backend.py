@@ -27,6 +27,18 @@ BATCHED_SMOKE_DIGESTS = {
     "miniqmc": "33073ad318b758ef6da903e4cfb7c457b5e512c7fe240164ea96da0fed1a3b47",
 }
 
+# Same smoke recipe under explicit work-queue schedule clauses, recorded when
+# the row-vectorized work-queue kernel extended the batched backend to
+# dynamic/guided.  MiniFE is the app where the clause matters (200 planes
+# over the thread team); MiniMD/MiniQMC decompose into exactly one item per
+# thread, so every clause degenerates to the same hand-out — pinned below as
+# a schedule-*invariance* assertion against the default digests above.
+BATCHED_SCHEDULE_SMOKE_DIGESTS = {
+    ("minife", "dynamic"): "1b734155d7a19f78335501c0bc3292bd68e71bc6364b036dcb6dc4e6214b5ea7",
+    ("minife", "dynamic,4"): "d030bf08d2c307de6d3a6d63eb9c9462607357eb5ec5981dfe8ab949edf2e8bc",
+    ("minife", "guided"): "3345a49af93f581fa86c2c3ba5d5b5ca6120ac791178b7b12eca203694bb87d0",
+}
+
 
 def _digest(dataset) -> str:
     blob = np.ascontiguousarray(dataset.compute_times_s, dtype=np.float64).tobytes()
@@ -56,6 +68,28 @@ class TestPinnedDigests:
     @pytest.mark.parametrize("application", sorted(BATCHED_SMOKE_DIGESTS))
     def test_batched_campaign_matches_recorded_digest(self, application):
         dataset = CampaignSession(_smoke(application)).run().dataset
+        assert _digest(dataset) == BATCHED_SMOKE_DIGESTS[application]
+
+    @pytest.mark.parametrize(
+        "application, schedule", sorted(BATCHED_SCHEDULE_SMOKE_DIGESTS)
+    )
+    def test_batched_workqueue_campaign_matches_recorded_digest(
+        self, application, schedule
+    ):
+        config = _smoke(application, schedule=schedule)
+        dataset = CampaignSession(config).run().dataset
+        assert _digest(dataset) == BATCHED_SCHEDULE_SMOKE_DIGESTS[
+            (application, schedule)
+        ]
+
+    @pytest.mark.parametrize("application", ["minimd", "miniqmc"])
+    @pytest.mark.parametrize("schedule", ["dynamic", "guided"])
+    def test_one_item_per_thread_apps_are_schedule_invariant(
+        self, application, schedule
+    ):
+        # one loop item per thread: the work-queue hand-out is thread k gets
+        # chunk k, identical to static, so the digest must not move
+        dataset = CampaignSession(_smoke(application, schedule=schedule)).run().dataset
         assert _digest(dataset) == BATCHED_SMOKE_DIGESTS[application]
 
     @pytest.mark.parametrize("application", sorted(BATCHED_SMOKE_DIGESTS))

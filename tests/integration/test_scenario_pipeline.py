@@ -19,7 +19,7 @@ from repro.scenarios import ScenarioMatrix, available_scenarios, get_scenario
 
 # sha256 of the dense compute_times_s array of CampaignConfig.smoke(app)
 # (seed 7, 1 trial x 2 processes x 12 iterations x 16 threads).  minimd /
-# miniqmc and the event backend are unchanged since the pre-scenario-refactor
+# miniqmc are unchanged since the pre-scenario-refactor
 # recording; minife was re-recorded when ``StaticSchedule.simulate`` moved
 # its per-thread busy-time summation to ``np.add.reduceat`` (sequential
 # instead of pairwise accumulation shifts MiniFE's pencil-calibration median
@@ -29,7 +29,14 @@ SEED_DIGESTS = {
     "minimd": "aad69e389dcdd05bee4e48e4e001a4e94e9a7b98124d3c24f49a2ce701cd1568",
     "miniqmc": "42d6abd256f408648188889ba1df2732b40a30ef1dbdbc4cb929170999478881",
 }
-SEED_EVENT_DIGEST = "c7f041f922673c7e0d42e11a2d8bea07476c04a39442b54c6b10affbd72e378b"
+# The event backend's digest was re-recorded when it adopted the
+# WindowedNoiseModel: noise events are now drawn once per (core, trial)
+# timeline window instead of once per delay query, so the draw order (and
+# therefore the bits) changed — same populations, same distribution
+# (tests/integration/test_paths_agree.py still checks distributional
+# agreement with the vectorized path), and per-core noise is now a single
+# consistent realisation instead of independent redraws per query window.
+SEED_EVENT_DIGEST = "d9415bf79ddd3ecdc48bfaec62aacb9cefbca28fd0322557f1abf3127b615a33"
 
 
 def _digest(dataset) -> str:
@@ -43,7 +50,7 @@ class TestBitIdentity:
         dataset = CampaignSession(CampaignConfig.smoke(application)).run().dataset
         assert _digest(dataset) == SEED_DIGESTS[application]
 
-    def test_event_backend_matches_pre_refactor_digest(self):
+    def test_event_backend_matches_recorded_digest(self):
         config = CampaignConfig.smoke("minife").with_backend("event")
         dataset = CampaignSession(config).run().dataset
         assert _digest(dataset) == SEED_EVENT_DIGEST
@@ -101,6 +108,25 @@ class TestScenarioExecution:
         plain = CampaignSession(unlabeled, cache_dir=tmp_path).run()
         assert plain.from_cache
         assert "scenario" not in plain.dataset.metadata
+
+    def test_scenario_backend_pin_survives_cli_defaults(self):
+        # manzano-dynamic-batched pins backend="batched"; the CLI must not
+        # silently override it with its own default when --backend is absent
+        from repro.experiments.runner import _configure, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["--scenario", "manzano-dynamic-batched"])
+        config = _configure(args, "minife")
+        assert config.backend == "batched"
+        assert config.schedule == "dynamic,4"
+        # an explicit flag still wins over the scenario pin
+        args = parser.parse_args(
+            ["--scenario", "manzano-dynamic-batched", "--backend", "event"]
+        )
+        assert _configure(args, "minife").backend == "event"
+        # scenario-less runs keep the vectorized default
+        args = parser.parse_args(["--apps", "minife"])
+        assert _configure(args, "minife").backend == "vectorized"
 
     def test_schedule_override_changes_the_data(self):
         base = get_scenario("manzano-default").campaign_config(

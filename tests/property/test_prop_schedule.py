@@ -59,3 +59,55 @@ def test_dynamic_makespan_never_worse_than_serial_and_not_better_than_ideal(cost
     ideal = costs.sum() / n_threads
     assert makespan <= costs.sum() + 1e-12
     assert makespan >= ideal - 1e-12
+
+
+# ----------------------------------------------------------------------
+# the row-vectorized work-queue kernel: bit-identical to the heap replay
+# ----------------------------------------------------------------------
+workqueue_schedules = st.sampled_from(
+    [
+        DynamicSchedule(1),
+        DynamicSchedule(3),
+        DynamicSchedule(7),
+        GuidedSchedule(1),
+        GuidedSchedule(2),
+        GuidedSchedule(5),
+    ]
+)
+
+# tie-heavy pools: with only a couple of distinct values, equal chunk costs
+# (and therefore equal thread available times) occur constantly, hammering
+# the argmin-vs-heap (time, thread) tie-break; the float pool exercises the
+# generic accumulation path
+tie_elements = st.sampled_from([0.0, 2.5e-4, 1.0e-3])
+float_elements = st.floats(0.0, 1e-2, allow_nan=False)
+
+
+@st.composite
+def cost_matrices(draw):
+    n_instances = draw(st.integers(1, 6))
+    # includes n_items < n_threads (threads go up to 64 below) and the
+    # empty loop
+    n_items = draw(st.integers(0, 80))
+    elements = draw(st.sampled_from([tie_elements, float_elements]))
+    return draw(
+        hnp.arrays(np.float64, (n_instances, n_items), elements=elements)
+    )
+
+
+@given(costs=cost_matrices(), n_threads=threads_strategy, schedule=workqueue_schedules)
+@settings(max_examples=150, deadline=None)
+def test_workqueue_batch_bit_identical_to_per_row_replay(costs, n_threads, schedule):
+    """simulate_batch must be *bit*-identical per row to simulate — busy
+    times and the realised chunk-to-thread assignment — including under
+    all-equal costs (thread-id tie-breaks) and rows with fewer items than
+    threads."""
+    busy, picks = schedule.simulate_batch_details(costs, n_threads)
+    assert np.array_equal(busy, schedule.simulate_batch(costs, n_threads))
+    assert busy.shape == (costs.shape[0], n_threads)
+    for i, row in enumerate(costs):
+        outcome = schedule.simulate(row, n_threads)
+        assert np.array_equal(busy[i], outcome.busy_time), f"row {i} busy diverged"
+        assert picks[i].tolist() == [thread for thread, _, _ in outcome.chunks], (
+            f"row {i} chunk assignment diverged"
+        )

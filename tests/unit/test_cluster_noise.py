@@ -3,10 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.cluster.noise import NoiseEvent, NoiseSpec, OSNoiseModel, total_noise
+from repro.cluster.noise import (
+    NoiseEvent,
+    NoiseSpec,
+    OSNoiseModel,
+    WindowedNoiseModel,
+    total_noise,
+)
 from repro.cluster.topology import Core
 
 CORE = Core(0, 0, 0)
+OTHER_CORE = Core(0, 0, 1)
 
 
 class TestNoiseSpec:
@@ -90,3 +97,103 @@ class TestDelays:
         model = OSNoiseModel(NoiseSpec(jitter_fraction=0.0), np.random.default_rng(7))
         wall = model.sample_wall_time(CORE, 0.0, 0.025)
         assert wall >= 0.025
+
+
+class TestWindowedNoiseModel:
+    """Pre-generated per-core timelines (the event backend's noise path)."""
+
+    def test_overlapping_queries_see_one_consistent_realisation(self):
+        # the base model redraws events per query; the windowed model must
+        # serve the *same* events for the same window, every time
+        model = WindowedNoiseModel(NoiseSpec(), np.random.default_rng(0))
+        first = model.events_in(CORE, 0.0, 0.2)
+        again = model.events_in(CORE, 0.0, 0.2)
+        assert first == again
+        # a sub-window is a verbatim slice of the timeline
+        sub = model.events_in(CORE, 0.05, 0.1)
+        assert sub == [ev for ev in first if 0.05 <= ev.start < 0.1]
+
+    def test_events_are_sorted_and_in_window(self):
+        model = WindowedNoiseModel(
+            NoiseSpec(interrupt_rate_hz=50.0), np.random.default_rng(1)
+        )
+        events = model.events_in(CORE, 0.3, 2.7)
+        starts = [ev.start for ev in events]
+        assert starts == sorted(starts)
+        assert all(0.3 <= s < 2.7 for s in starts)
+
+    def test_timeline_extends_across_window_boundaries(self):
+        model = WindowedNoiseModel(
+            NoiseSpec(), np.random.default_rng(2), window_s=0.05
+        )
+        # the query spans many generation windows; the daemon ticks must
+        # keep their fixed period straight through the seams
+        events = model.events_in(CORE, 0.0, 1.0)
+        daemon = [ev for ev in events if ev.duration == NoiseSpec().daemon_duration_s]
+        gaps = np.diff([ev.start for ev in daemon])
+        np.testing.assert_allclose(gaps, 0.01, rtol=1e-9)
+
+    def test_cores_have_independent_timelines(self):
+        model = WindowedNoiseModel(NoiseSpec(), np.random.default_rng(3))
+        a = model.events_in(CORE, 0.0, 0.5)
+        b = model.events_in(OTHER_CORE, 0.0, 0.5)
+        assert [ev.start for ev in a] != [ev.start for ev in b]
+
+    def test_delay_over_matches_manual_walk_of_the_timeline(self):
+        model = WindowedNoiseModel(NoiseSpec(), np.random.default_rng(4))
+        start, work = 0.003, 0.025
+        extra = model.delay_over(CORE, start, work)
+        # replay the detour semantics by hand from the cached events, over
+        # the same bounded look-ahead the model (and the per-query base
+        # class) uses
+        horizon_end = start + work * 1.5 + model.horizon_s
+        events = model.events_in(CORE, start, horizon_end)
+        end, expected = start + work, 0.0
+        for event in events:
+            if event.start < end:
+                end += event.duration
+                expected += event.duration
+        assert extra == pytest.approx(expected, abs=0.0)
+
+    def test_overloaded_noise_population_terminates(self):
+        # duty cycle >= 1 (events arrive faster than they drain): the walk
+        # must stop at the bounded look-ahead instead of chasing the
+        # stretching window (and growing the timeline) forever
+        spec = NoiseSpec(interrupt_rate_hz=3000.0, interrupt_mean_s=0.5e-3)
+        model = WindowedNoiseModel(spec, np.random.default_rng(9))
+        extra = model.delay_over(CORE, 0.0, 0.025)
+        assert np.isfinite(extra) and extra >= 0.0
+        # bounded by what the look-ahead window can physically contain
+        assert extra <= model.spec.interrupt_max_s * len(
+            model.events_in(CORE, 0.0, 0.025 * 1.5 + model.horizon_s)
+        )
+
+    def test_disabled_and_degenerate_inputs(self):
+        model = WindowedNoiseModel(NoiseSpec().disabled(), np.random.default_rng(5))
+        assert model.events_in(CORE, 0.0, 1.0) == []
+        assert model.delay_over(CORE, 0.0, 0.05) == 0.0
+        enabled = WindowedNoiseModel(NoiseSpec(), np.random.default_rng(5))
+        assert enabled.delay_over(CORE, 0.0, 0.0) == 0.0
+        with pytest.raises(ValueError):
+            enabled.delay_over(CORE, 0.0, -1.0)
+        with pytest.raises(ValueError):
+            WindowedNoiseModel(NoiseSpec(), window_s=0.0)
+
+    def test_windowed_factory_shares_spec_sources_and_rng(self):
+        base = OSNoiseModel(NoiseSpec(), np.random.default_rng(6))
+        windowed = base.windowed(window_s=0.5)
+        assert isinstance(windowed, WindowedNoiseModel)
+        assert windowed.spec is base.spec
+        assert windowed.sources == base.sources
+        assert windowed.window_s == 0.5
+
+    def test_mean_delay_agrees_with_per_query_model(self):
+        # same populations, different draw schedule: long-run injected noise
+        # per window must agree between the two models
+        spec = NoiseSpec(jitter_fraction=0.0)
+        per_query = OSNoiseModel(spec, np.random.default_rng(7))
+        windowed = WindowedNoiseModel(spec, np.random.default_rng(8))
+        work = 0.025
+        a = np.array([per_query.delay_over(CORE, i * 0.03, work) for i in range(2000)])
+        b = np.array([windowed.delay_over(CORE, i * 0.03, work) for i in range(2000)])
+        assert abs(a.mean() - b.mean()) < 5e-5

@@ -158,6 +158,73 @@ class TestSimulateBatch:
             StaticSchedule().simulate_batch(-np.ones((2, 8)), 2)
 
 
+class TestWorkQueueBatchKernel:
+    """The row-vectorized work-queue replay (dynamic/guided simulate_batch)."""
+
+    def test_ties_break_to_lowest_thread_id(self):
+        # equal costs: chunk k must land on thread k while idle threads
+        # remain, exactly as the heap's (time, thread) ordering dictates
+        costs = np.full((3, 6), 1.0e-3)
+        busy, picks = DynamicSchedule(1).simulate_batch_details(costs, 8)
+        assert picks.tolist() == [[0, 1, 2, 3, 4, 5]] * 3
+        np.testing.assert_array_equal(busy[:, 6:], 0.0)
+
+    def test_fewer_items_than_threads(self):
+        costs = np.random.default_rng(0).uniform(0.5, 1.5, size=(4, 3))
+        busy = GuidedSchedule().simulate_batch(costs, 16)
+        for i, row in enumerate(costs):
+            np.testing.assert_array_equal(
+                busy[i], GuidedSchedule().simulate(row, 16).busy_time
+            )
+
+    def test_empty_loop_gives_zero_busy_times(self):
+        busy = DynamicSchedule(4).simulate_batch(np.empty((3, 0)), 5)
+        np.testing.assert_array_equal(busy, np.zeros((3, 5)))
+
+    def test_details_picks_match_simulate_chunks(self):
+        rng = np.random.default_rng(7)
+        costs = rng.uniform(0.0, 1.0, size=(6, 41))
+        for schedule in (DynamicSchedule(5), GuidedSchedule(2)):
+            _, picks = schedule.simulate_batch_details(costs, 7)
+            for i, row in enumerate(costs):
+                outcome = schedule.simulate(row, 7)
+                assert picks[i].tolist() == [t for t, _, _ in outcome.chunks]
+
+
+class TestWorkQueueLayoutMemoization:
+    def test_repeated_calls_share_the_cached_arrays(self):
+        first = DynamicSchedule(4)._chunk_layout(200, 48)
+        second = DynamicSchedule(4)._chunk_layout(200, 48)
+        assert all(a is b for a, b in zip(first, second))
+        g_first = GuidedSchedule(2)._chunk_layout(200, 48)
+        g_second = GuidedSchedule(2)._chunk_layout(200, 48)
+        assert all(a is b for a, b in zip(g_first, g_second))
+
+    def test_cached_arrays_are_read_only(self):
+        for schedule in (DynamicSchedule(3), GuidedSchedule(2)):
+            sizes, bounds = schedule._chunk_layout(100, 8)
+            with pytest.raises(ValueError):
+                sizes[0] = 99
+            with pytest.raises(ValueError):
+                bounds[0] = 99
+
+    def test_layouts_match_the_schedule_policy(self):
+        sizes, bounds = DynamicSchedule(5)._chunk_layout(23, 4)
+        assert sizes.tolist() == [5, 5, 5, 5, 5]
+        assert bounds.tolist() == [0, 5, 10, 15, 20, 23]  # clamped tail
+        # guided: geometrically shrinking, clamped below by min_chunk,
+        # covering the loop exactly
+        g_sizes, g_bounds = GuidedSchedule(2)._chunk_layout(100, 4)
+        assert g_sizes[0] == 100 // 8
+        assert g_sizes[:-1].min() >= 2  # only the final remnant may be short
+        assert g_sizes.sum() == 100 and g_bounds[-1] == 100
+
+    def test_guided_layouts_key_on_thread_count(self):
+        narrow = GuidedSchedule(1)._chunk_sizes(96, 2)
+        wide = GuidedSchedule(1)._chunk_sizes(96, 16)
+        assert narrow[0] == 24 and wide[0] == 3
+
+
 class TestStaticAssignmentMemoization:
     def test_repeated_calls_share_the_cached_arrays(self):
         first = StaticSchedule().static_assignment(200, 48)
