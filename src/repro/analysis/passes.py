@@ -161,12 +161,14 @@ class HistogramPass(AnalysisPass):
 # ----------------------------------------------------------------------
 @dataclasses.dataclass
 class NormalityResult:
-    """Streaming normality-study product (the report-facing subset).
+    """Streaming normality-study product (all three §4.1 levels).
 
-    The application-iteration level of :class:`~repro.core.normality.NormalityStudy`
-    pools samples *across* shards per iteration and is not part of the
-    feasibility report; consumers that need it can still run the in-memory
-    study on a merged dataset.
+    ``application_iteration_pass_counts`` is the §4.1 middle level (how many
+    application iterations pass each test — the Section 4.1 table's
+    "app-iterations passing D'Agostino" column).  It pools samples *across*
+    shards per iteration, which only the exact accumulators can reassemble
+    bit-identically; in sketch mode (or when the pass was built with
+    ``application_iteration=False``) it is ``None``.
     """
 
     alpha: float
@@ -175,6 +177,8 @@ class NormalityResult:
     process_iteration_pass_rates: Dict[str, float]
     n_groups: int
     group_size: int
+    application_iteration_pass_counts: Optional[Dict[str, int]] = None
+    n_iterations: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -185,6 +189,10 @@ class NormalityResult:
         }
         for name, rate in self.process_iteration_pass_rates.items():
             payload[f"pass_rate_{name}"] = rate
+        if self.application_iteration_pass_counts is not None:
+            payload["n_iterations"] = self.n_iterations
+            for name, count in self.application_iteration_pass_counts.items():
+                payload[f"app_iteration_passes_{name}"] = count
         return payload
 
 
@@ -200,14 +208,21 @@ class NormalityPass(AnalysisPass):
         *,
         max_application_samples: int = 5000,
         sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+        application_iteration: bool = True,
     ) -> None:
         self.alpha = float(alpha)
         self.max_application_samples = int(max_application_samples)
         self.sketch_capacity = int(sketch_capacity)
+        #: exact mode only: also run the battery at the application-iteration
+        #: level (pooled across shards per iteration; the §4.1 table's
+        #: "iterations passing" counts)
+        self.application_iteration = bool(application_iteration)
 
     def prepare(self, context: AnalysisContext) -> Dict[str, Any]:
         return {
             "segments": [] if context.exact else PercentileSketch(self.sketch_capacity),
+            # iteration id -> (sort_key, values) segments; exact mode only
+            "iteration_segments": {},
             "pass_counts": {name: 0 for name in TEST_NAMES},
             "n_groups": 0,
             "group_size": 0,
@@ -224,6 +239,14 @@ class NormalityPass(AnalysisPass):
         app_row = aggregate_shard(shard, AggregationLevel.APPLICATION).values[0]
         if context.exact:
             state["segments"].append((shard.sort_key, app_row))
+            if self.application_iteration:
+                by_iter = aggregate_shard(
+                    shard, AggregationLevel.APPLICATION_ITERATION
+                )
+                for key, row in zip(by_iter.keys, by_iter.values):
+                    state["iteration_segments"].setdefault(int(key[0]), []).append(
+                        (shard.sort_key, row)
+                    )
         else:
             state["segments"].update(app_row)
         return state
@@ -233,11 +256,35 @@ class NormalityPass(AnalysisPass):
             state["segments"].extend(other["segments"])
         else:
             state["segments"] = state["segments"].merge(other["segments"])
+        for iteration, payload in other["iteration_segments"].items():
+            state["iteration_segments"].setdefault(iteration, []).extend(payload)
         for name in TEST_NAMES:
             state["pass_counts"][name] += other["pass_counts"][name]
         state["n_groups"] += other["n_groups"]
         state["group_size"] = max(state["group_size"], other["group_size"])
         return state
+
+    def _iteration_counts(
+        self, battery: NormalityBattery, segments: Dict[int, List]
+    ) -> Tuple[Dict[str, int], int]:
+        """Battery pass counts at the application-iteration level.
+
+        Each iteration's row is its shard segments re-assembled in serial
+        order — the dense path's pooled per-iteration vector, bit for bit —
+        so the counts match
+        :meth:`NormalityStudy.application_iteration_pass_counts` exactly.
+        """
+        rows = np.stack(
+            [
+                np.concatenate(_sorted_segments(segments[iteration]))
+                for iteration in sorted(segments)
+            ]
+        )
+        report = battery.run(rows)
+        counts = {
+            name: int(np.sum(report.outcomes[name].passed)) for name in TEST_NAMES
+        }
+        return counts, len(rows)
 
     def finalize(self, state, context: AnalysisContext) -> NormalityResult:
         if state["n_groups"] == 0:
@@ -254,6 +301,12 @@ class NormalityPass(AnalysisPass):
         rates = {
             name: state["pass_counts"][name] / state["n_groups"] for name in TEST_NAMES
         }
+        iteration_counts: Optional[Dict[str, int]] = None
+        n_iterations = 0
+        if state["iteration_segments"]:
+            iteration_counts, n_iterations = self._iteration_counts(
+                battery, state["iteration_segments"]
+            )
         return NormalityResult(
             alpha=self.alpha,
             application_rejected=app_report.rejected_all(),
@@ -261,6 +314,8 @@ class NormalityPass(AnalysisPass):
             process_iteration_pass_rates=rates,
             n_groups=state["n_groups"],
             group_size=state["group_size"],
+            application_iteration_pass_counts=iteration_counts,
+            n_iterations=n_iterations,
         )
 
 

@@ -27,7 +27,7 @@ import itertools
 import multiprocessing
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import TYPE_CHECKING, Iterator, List, Optional, Type
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Type
 
 from repro.core.timing import TimingDataset, TimingShard
 from repro.sim.random import RandomStreams
@@ -155,10 +155,30 @@ class ShardExecutor:
                     future.cancel()
 
     def iter_shards(
-        self, backend: "CampaignBackend", config: "CampaignConfig"
+        self,
+        backend: "CampaignBackend",
+        config: "CampaignConfig",
+        *,
+        on_shard: Optional[Callable[[TimingShard], None]] = None,
     ) -> Iterator[TimingShard]:
-        """Yield the campaign's shards in serial (trial-major) order."""
+        """Yield the campaign's shards in serial (trial-major) order.
+
+        **Incremental contract**: each shard is yielded as soon as it is
+        available — after its own computation, *before* later shards have
+        run (pooled execution keeps at most ~``2 * workers`` undelivered
+        results in flight).  Consumers that need live progress (the campaign
+        service's shard streaming, progress bars) can therefore react
+        per-shard while the campaign is still executing; nothing buffers the
+        whole campaign.
+
+        ``on_shard`` is invoked in the caller's process with each shard
+        immediately before it is yielded — a convenience for driving
+        callbacks from consumers like :meth:`run` / :meth:`run_merged` that
+        would otherwise swallow the iterator.
+        """
         for _, shard in self._iter_mapped(backend, config, None):
+            if on_shard is not None:
+                on_shard(shard)
             yield shard
 
     def map_shards(
@@ -177,17 +197,30 @@ class ShardExecutor:
         return self._iter_mapped(backend, config, mapper)
 
     def run(
-        self, backend: "CampaignBackend", config: "CampaignConfig"
+        self,
+        backend: "CampaignBackend",
+        config: "CampaignConfig",
+        *,
+        on_shard: Optional[Callable[[TimingShard], None]] = None,
     ) -> List[TimingShard]:
-        """All shards of the campaign, ordered."""
-        return list(self.iter_shards(backend, config))
+        """All shards of the campaign, ordered.
+
+        ``on_shard`` (if given) observes each shard incrementally, before
+        the campaign finishes — see :meth:`iter_shards`.
+        """
+        return list(self.iter_shards(backend, config, on_shard=on_shard))
 
     def run_merged(
-        self, backend: "CampaignBackend", config: "CampaignConfig"
+        self,
+        backend: "CampaignBackend",
+        config: "CampaignConfig",
+        *,
+        on_shard: Optional[Callable[[TimingShard], None]] = None,
     ) -> TimingDataset:
         """Run all shards and merge them into one dataset."""
         return TimingDataset.merge(
-            self.iter_shards(backend, config), metadata=backend.metadata(config)
+            self.iter_shards(backend, config, on_shard=on_shard),
+            metadata=backend.metadata(config),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,26 +1,40 @@
 """Per-figure data generators.
 
-Each function regenerates the data behind one figure of the paper from a
-timing dataset (or, for Figures 1/2, from an arrival vector), returning a
-:class:`FigureData` that carries the raw series plus enough labelling to
-render it (ASCII in the examples, CSV for external plotting) and to assert
-its qualitative shape in the benchmarks.
+Each function regenerates the data behind one figure of the paper,
+returning a :class:`FigureData` that carries the raw series plus enough
+labelling to render it (ASCII in the examples, CSV for external plotting)
+and to assert its qualitative shape in the benchmarks.
+
+Figure sources come in two flavours, and every generator accepts either:
+
+* a merged :class:`~repro.core.timing.TimingDataset` (the legacy in-memory
+  path), or
+* the :class:`~repro.analysis.AnalysisResults` of a streaming run (exact
+  mode), which is what the CLI default path feeds — the merged dataset is
+  never materialised.  The exemplar histograms of Figures 5/7/9 need raw
+  samples a finalized product cannot carry, so those generators take the
+  campaign's ``shards`` alongside (histogram binning is order-independent,
+  making the shard-scan bit-identical to the dense path).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.engine import AnalysisResults
 from repro.core.analyzer import ThreadTimingAnalyzer
 from repro.core.earlybird import EarlyBirdModel
-from repro.core.laggard import IterationClass
-from repro.core.timing import TimingDataset
+from repro.core.laggard import IterationClass, LaggardAnalysis
+from repro.core.timing import TimingDataset, TimingShard
 from repro.experiments.paper import FIGURE_PARAMETERS
-from repro.stats.histogram import FixedWidthHistogram
+from repro.stats.histogram import FixedWidthHistogram, fixed_width_histogram
 from repro.stats.percentiles import PercentileSeries
+
+#: every figure generator accepts either source flavour
+FigureSource = Union[TimingDataset, AnalysisResults]
 
 
 @dataclass
@@ -90,16 +104,82 @@ def figure2_potential_overlap(
 
 
 # ----------------------------------------------------------------------
+# source plumbing: datasets and streaming results interchangeably
+# ----------------------------------------------------------------------
+def _laggard_analysis(source: FigureSource) -> LaggardAnalysis:
+    """The per-group laggard analysis behind Figures 5/7/9's exemplars."""
+    if isinstance(source, AnalysisResults):
+        analysis = source["laggards"].analysis
+        if analysis is None:
+            raise ValueError(
+                "the streaming laggards product carries no per-group analysis "
+                "(sketch mode?); re-run the 'laggards' pass in exact mode to "
+                "generate exemplar figures"
+            )
+        return analysis
+    return ThreadTimingAnalyzer(source).laggards()
+
+
+def _group_samples(
+    shards: Sequence[TimingShard], key: Tuple[int, int, int]
+) -> np.ndarray:
+    """One process-iteration's samples scanned straight out of the shards.
+
+    Shard segments are concatenated in serial (trial-major) order —
+    the dense path's row order — and histogram binning is order-independent
+    anyway, so figures built from this match the merged-dataset path bit for
+    bit.  Works for both per-(trial, process) executor shards and the
+    per-trial shards a cache hit derives.
+    """
+    trial, process, iteration = (int(part) for part in key)
+    parts = []
+    for shard in sorted(shards, key=lambda s: s.sort_key):
+        columns = shard.columns
+        mask = (
+            (np.asarray(columns["trial"]) == trial)
+            & (np.asarray(columns["process"]) == process)
+            & (np.asarray(columns["iteration"]) == iteration)
+        )
+        if np.any(mask):
+            parts.append(np.asarray(columns["compute_time_s"])[mask])
+    if not parts:
+        raise KeyError(f"no samples for process-iteration {key} in the shards")
+    return np.concatenate(parts)
+
+
+def _group_histogram(
+    source: FigureSource,
+    key: Tuple[int, int, int],
+    bin_width_s: float,
+    shards: Optional[Sequence[TimingShard]],
+) -> FixedWidthHistogram:
+    """Histogram of one process-iteration from whichever source is at hand."""
+    if isinstance(source, AnalysisResults):
+        if shards is None:
+            raise ValueError(
+                "exemplar histograms from streaming results need the "
+                "campaign's shards (pass shards=result.shards)"
+            )
+        return fixed_width_histogram(
+            _group_samples(shards, key), bin_width_s, unit="s"
+        )
+    return ThreadTimingAnalyzer(source).process_iteration_histogram(key, bin_width_s)
+
+
+# ----------------------------------------------------------------------
 # Figure 3 — application-level histograms
 # ----------------------------------------------------------------------
-def figure3_histogram(dataset: TimingDataset) -> FigureData:
+def figure3_histogram(source: FigureSource) -> FigureData:
     """Figure 3: application-level arrival histogram with 10 µs bins."""
     bin_width = FIGURE_PARAMETERS["figure3"]["bin_width_s"]
-    histogram = ThreadTimingAnalyzer(dataset).application_histogram(bin_width)
+    if isinstance(source, AnalysisResults):
+        histogram = source["histogram"]
+    else:
+        histogram = ThreadTimingAnalyzer(source).application_histogram(bin_width)
     return FigureData(
         figure_id="figure3",
         title="Application thread arrival time histogram",
-        application=dataset.application,
+        application=source.application,
         payload={
             "histogram": histogram,
             "peak_ms": histogram.mode_center * 1e3,
@@ -111,13 +191,16 @@ def figure3_histogram(dataset: TimingDataset) -> FigureData:
 # ----------------------------------------------------------------------
 # Figures 4 / 6 / 8 — percentile plots
 # ----------------------------------------------------------------------
-def percentile_figure(dataset: TimingDataset, figure_id: str) -> FigureData:
+def percentile_figure(source: FigureSource, figure_id: str) -> FigureData:
     """Shared generator of the three percentile plots."""
-    series = ThreadTimingAnalyzer(dataset).percentile_series()
+    if isinstance(source, AnalysisResults):
+        series = source["percentiles"]
+    else:
+        series = ThreadTimingAnalyzer(source).percentile_series()
     return FigureData(
         figure_id=figure_id,
         title="Per-iteration thread arrival percentiles",
-        application=dataset.application,
+        application=source.application,
         payload={
             "series": series,
             "mean_median_ms": series.mean_median(),
@@ -128,14 +211,14 @@ def percentile_figure(dataset: TimingDataset, figure_id: str) -> FigureData:
     )
 
 
-def figure4_minife_percentiles(dataset: TimingDataset) -> FigureData:
+def figure4_minife_percentiles(source: FigureSource) -> FigureData:
     """Figure 4: MiniFE mat-vec arrival percentiles per iteration."""
-    return percentile_figure(dataset, "figure4")
+    return percentile_figure(source, "figure4")
 
 
-def figure6_minimd_percentiles(dataset: TimingDataset, warmup_iterations: int = 19) -> FigureData:
+def figure6_minimd_percentiles(source: FigureSource, warmup_iterations: int = 19) -> FigureData:
     """Figure 6: MiniMD force-loop percentiles per iteration (two-phase)."""
-    data = percentile_figure(dataset, "figure6")
+    data = percentile_figure(source, "figure6")
     series: PercentileSeries = data["series"]  # type: ignore[assignment]
     data.payload["warmup_mean_iqr_ms"] = float(series.iqr[:warmup_iterations].mean())
     data.payload["steady_mean_iqr_ms"] = float(series.iqr[warmup_iterations:].mean())
@@ -143,46 +226,59 @@ def figure6_minimd_percentiles(dataset: TimingDataset, warmup_iterations: int = 
     return data
 
 
-def figure8_miniqmc_percentiles(dataset: TimingDataset) -> FigureData:
+def figure8_miniqmc_percentiles(source: FigureSource) -> FigureData:
     """Figure 8: MiniQMC mover percentiles per iteration."""
-    return percentile_figure(dataset, "figure8")
+    return percentile_figure(source, "figure8")
 
 
 # ----------------------------------------------------------------------
 # Figures 5 / 7 / 9 — example process-iteration histograms per class
 # ----------------------------------------------------------------------
-def figure5_minife_classes(dataset: TimingDataset) -> FigureData:
-    """Figure 5: MiniFE no-laggard vs laggard example histograms (50 µs bins)."""
-    analyzer = ThreadTimingAnalyzer(dataset)
-    laggards = analyzer.laggards()
+def figure5_minife_classes(
+    source: FigureSource,
+    *,
+    shards: Optional[Sequence[TimingShard]] = None,
+) -> FigureData:
+    """Figure 5: MiniFE no-laggard vs laggard example histograms (50 µs bins).
+
+    From streaming results, pass the campaign's ``shards`` so the exemplar
+    histograms can be binned without a merged dataset.
+    """
+    laggards = _laggard_analysis(source)
     bin_width = FIGURE_PARAMETERS["figure5"]["bin_width_s"]
     payload: Dict[str, object] = {
         "laggard_fraction": laggards.laggard_fraction,
         "no_laggard_fraction": 1.0 - laggards.laggard_fraction,
     }
     for cls, label in ((IterationClass.NO_LAGGARD, "no_laggard"), (IterationClass.LAGGARD, "laggard")):
-        hist = analyzer.exemplar_histogram(cls, bin_width)
-        payload[f"{label}_histogram"] = hist
-        payload[f"{label}_exemplar"] = laggards.exemplar(cls)
+        key = laggards.exemplar(cls)
+        payload[f"{label}_exemplar"] = key
+        payload[f"{label}_histogram"] = (
+            _group_histogram(source, key, bin_width, shards) if key is not None else None
+        )
     return FigureData(
         figure_id="figure5",
         title="MiniFE thread arrival distribution classes",
-        application=dataset.application,
+        application=source.application,
         payload=payload,
     )
 
 
-def figure7_minimd_classes(dataset: TimingDataset, warmup_iterations: int = 19) -> FigureData:
+def figure7_minimd_classes(
+    source: FigureSource,
+    warmup_iterations: int = 19,
+    *,
+    shards: Optional[Sequence[TimingShard]] = None,
+) -> FigureData:
     """Figure 7: MiniMD initial / no-laggard / laggard example histograms."""
-    analyzer = ThreadTimingAnalyzer(dataset)
     wide_bin = FIGURE_PARAMETERS["figure7a"]["bin_width_s"]
     tight_bin = FIGURE_PARAMETERS["figure7bc"]["bin_width_s"]
-    laggards = analyzer.laggards()
+    laggards = _laggard_analysis(source)
 
     # (a) initial behaviour: any process-iteration from the warm-up phase
     warmup_keys = [key for key in laggards.keys if key[-1] < warmup_iterations]
     initial_hist = (
-        analyzer.process_iteration_histogram(warmup_keys[len(warmup_keys) // 2], wide_bin)
+        _group_histogram(source, warmup_keys[len(warmup_keys) // 2], wide_bin, shards)
         if warmup_keys
         else None
     )
@@ -210,27 +306,30 @@ def figure7_minimd_classes(dataset: TimingDataset, warmup_iterations: int = 19) 
         key = steady_exemplar(want)
         payload[f"{label}_exemplar"] = key
         payload[f"{label}_histogram"] = (
-            analyzer.process_iteration_histogram(key, tight_bin) if key is not None else None
+            _group_histogram(source, key, tight_bin, shards) if key is not None else None
         )
     return FigureData(
         figure_id="figure7",
         title="MiniMD thread arrival distribution classes",
-        application=dataset.application,
+        application=source.application,
         payload=payload,
     )
 
 
-def figure9_miniqmc_histogram(dataset: TimingDataset) -> FigureData:
+def figure9_miniqmc_histogram(
+    source: FigureSource,
+    *,
+    shards: Optional[Sequence[TimingShard]] = None,
+) -> FigureData:
     """Figure 9: a representative MiniQMC process-iteration histogram (1 ms bins)."""
-    analyzer = ThreadTimingAnalyzer(dataset)
     bin_width = FIGURE_PARAMETERS["figure9"]["bin_width_s"]
-    laggards = analyzer.laggards()
+    laggards = _laggard_analysis(source)
     key = laggards.exemplar(IterationClass.WIDE) or laggards.keys[len(laggards.keys) // 2]
-    histogram = analyzer.process_iteration_histogram(key, bin_width)
+    histogram = _group_histogram(source, key, bin_width, shards)
     return FigureData(
         figure_id="figure9",
         title="MiniQMC thread arrival distribution example",
-        application=dataset.application,
+        application=source.application,
         payload={
             "histogram": histogram,
             "exemplar": key,

@@ -35,7 +35,6 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import REPORT_ANALYSES, analysis_title, available_analyses
 from repro.core.analyzer import ThreadTimingAnalyzer
-from repro.core.timing import TimingDataset
 from repro.experiments.backends import available_backends
 from repro.experiments.config import CampaignConfig
 from repro.experiments.session import CampaignSession
@@ -324,40 +323,71 @@ def _run_streaming_analyses(
     return 0
 
 
-def _write_figures(datasets: Dict[str, TimingDataset], output: Path, report_lines: List[str]) -> None:
+def _write_figures(
+    sources: Dict[str, object],
+    output: Path,
+    report_lines: List[str],
+    shards_by_app: Optional[Dict[str, Sequence]] = None,
+) -> None:
+    """Regenerate the figures from datasets or streaming analysis results.
+
+    With :class:`~repro.analysis.AnalysisResults` sources, the exemplar
+    histograms of Figures 5/7/9 are binned straight from the campaign's
+    shards (``shards_by_app``) — no merged dataset anywhere.
+    """
+    from repro.analysis.engine import AnalysisResults
+
+    shards_by_app = shards_by_app or {}
     figure_dir = output / "figures"
-    for name, dataset in datasets.items():
-        analyzer = ThreadTimingAnalyzer(dataset)
-        fig3 = figure3_histogram(dataset)
+
+    def shards_for(name: str):
+        return shards_by_app.get(name)
+
+    for name, source in sources.items():
+        fig3 = figure3_histogram(source)
         export_histogram_csv(fig3["histogram"], figure_dir / f"figure3_{name}.csv")
-        series_fig = percentile_figure(dataset, "percentiles")
+        series_fig = percentile_figure(source, "percentiles")
         export_percentiles_csv(series_fig["series"], figure_dir / f"percentiles_{name}.csv")
         report_lines.append(f"\n--- {name}: application-level histogram (Figure 3) ---")
         report_lines.append(ascii_histogram(fig3["histogram"], max_rows=25))
         report_lines.append(f"\n--- {name}: percentile plot (Figures 4/6/8) ---")
         report_lines.append(ascii_percentile_plot(series_fig["series"]))
-        report_lines.append("\n" + analyzer.report().summary())
-    if "minife" in datasets:
-        fig5 = figure5_minife_classes(datasets["minife"])
+        if isinstance(source, AnalysisResults):
+            report = source.report(include_earlybird="earlybird" in source)
+        else:
+            report = ThreadTimingAnalyzer(source).report()
+        report_lines.append("\n" + report.summary())
+    if "minife" in sources:
+        fig5 = figure5_minife_classes(sources["minife"], shards=shards_for("minife"))
         for label in ("no_laggard", "laggard"):
             hist = fig5[f"{label}_histogram"]
             if hist is not None:
                 export_histogram_csv(hist, figure_dir / f"figure5_{label}.csv")
-    if "minimd" in datasets:
-        fig7 = figure7_minimd_classes(datasets["minimd"])
+    if "minimd" in sources:
+        fig7 = figure7_minimd_classes(sources["minimd"], shards=shards_for("minimd"))
         for label in ("initial", "no_laggard", "laggard"):
             hist = fig7.payload.get(f"{label}_histogram")
             if hist is not None:
                 export_histogram_csv(hist, figure_dir / f"figure7_{label}.csv")
-    if "miniqmc" in datasets:
-        fig9 = figure9_miniqmc_histogram(datasets["miniqmc"])
+    if "miniqmc" in sources:
+        fig9 = figure9_miniqmc_histogram(
+            sources["miniqmc"], shards=shards_for("miniqmc")
+        )
         export_histogram_csv(fig9["histogram"], figure_dir / "figure9_miniqmc.csv")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-campaign`` console script."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] in ("serve", "submit"):
+        # service subcommands (imported lazily: the flat campaign CLI must
+        # not pay for the asyncio service machinery)
+        from repro.service.cli import serve_main, submit_main
+
+        dispatch = serve_main if arguments[0] == "serve" else submit_main
+        return dispatch(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if (
         args.list_scenarios
         or args.list_machines
@@ -389,7 +419,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "engine never materialises the merged datasets)"
             )
         return _run_streaming_analyses(args, applications, output)
-    datasets: Dict[str, TimingDataset] = {}
+    # the default path streams: every table/figure below reads the exact-mode
+    # analysis products (plus raw shards for the exemplar histograms), and a
+    # merged dataset is only materialised when --save-datasets asks for one
+    products: Dict[str, object] = {}
+    shards_by_app: Dict[str, Sequence] = {}
     report_lines: List[str] = []
     for application in applications:
         config = _configure(args, application)
@@ -406,23 +440,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         session = CampaignSession(config, cache_dir=args.cache_dir)
         result = session.run()
-        dataset = result.dataset
+        products[application] = session.analyze(application, analyses="all")
+        shards_by_app[application] = result.shards
         elapsed = time.perf_counter() - started
         origin = " (cached)" if result.from_cache else ""
         print(
-            f"[repro-campaign]   {dataset.n_samples} samples in {elapsed:.1f} s{origin}",
+            f"[repro-campaign]   {config.samples_per_application} samples "
+            f"in {elapsed:.1f} s{origin}",
             flush=True,
         )
-        datasets[application] = dataset
         if args.save_datasets:
-            save_dataset(dataset, output / f"dataset_{application}.npz")
+            save_dataset(result.dataset, output / f"dataset_{application}.npz")
 
     # tables
-    table_rows = table1(datasets)
+    table_rows = table1(products)
     export_rows_csv(table_rows, output / "table1.csv")
-    metric_rows = section4_metrics_table(datasets)
+    metric_rows = section4_metrics_table(products)
     export_rows_csv(metric_rows, output / "section4_metrics.csv")
-    normality_rows = section41_normality_table(datasets)
+    normality_rows = section41_normality_table(products)
     export_rows_csv(normality_rows, output / "section41_normality.csv")
     report_lines.append("=== Table 1: process-iteration normality pass rates ===")
     report_lines.append(ascii_table(table_rows))
@@ -430,14 +465,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report_lines.append(ascii_table(metric_rows))
     report_lines.append("\n=== Section 4.1 coarse-level normality ===")
     report_lines.append(ascii_table(normality_rows))
-    if "minimd" in datasets:
-        phase_rows = minimd_phase_table(datasets["minimd"])
+    if "minimd" in products:
+        phase_rows = minimd_phase_table(products["minimd"])
         export_rows_csv(phase_rows, output / "minimd_phases.csv")
         report_lines.append("\n=== MiniMD two-phase IQR comparison ===")
         report_lines.append(ascii_table(phase_rows))
 
     # figures
-    _write_figures(datasets, output, report_lines)
+    _write_figures(products, output, report_lines, shards_by_app=shards_by_app)
 
     report = "\n".join(report_lines)
     (output / "report.txt").write_text(report)

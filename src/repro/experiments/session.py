@@ -85,6 +85,20 @@ def config_cache_key(config: "CampaignConfig") -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
+def campaign_cache_path(
+    cache_dir: Optional[Path], config: "CampaignConfig"
+) -> Optional[Path]:
+    """The ``.npz`` cache file for ``config`` under ``cache_dir``.
+
+    Shared by :class:`CampaignSession` and the campaign service
+    (:mod:`repro.service`) so both layers hit the same cache entries.
+    Returns ``None`` when caching is disabled (``cache_dir is None``).
+    """
+    if cache_dir is None:
+        return None
+    return cache_dir / f"campaign_{config.application}_{config_cache_key(config)}.npz"
+
+
 class CampaignResult:
     """Outcome of one application's campaign, merged on demand.
 
@@ -228,12 +242,7 @@ class CampaignSession:
         return config_cache_key(self.config_for(application))
 
     def _cache_path(self, config: "CampaignConfig") -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return (
-            self.cache_dir
-            / f"campaign_{config.application}_{config_cache_key(config)}.npz"
-        )
+        return campaign_cache_path(self.cache_dir, config)
 
     def _executor(self) -> ShardExecutor:
         return ShardExecutor(mode=self.executor_mode)

@@ -6,14 +6,20 @@
   IQR, laggard fraction, reclaimable time, idle ratio) per application,
   paper vs measured.
 * :func:`section41_normality_table` — the §4.1 coarse-level outcomes.
+
+Every generator accepts its per-application sources as either merged
+:class:`~repro.core.timing.TimingDataset` objects (the legacy in-memory
+path) or streaming :class:`~repro.analysis.AnalysisResults` (exact mode) —
+the CLI default path feeds the latter, so no table forces a dataset merge.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis.engine import AnalysisResults
 from repro.core.analyzer import ThreadTimingAnalyzer
 from repro.core.timing import TimingDataset
 from repro.experiments.paper import SECTION4_METRICS, SECTION41_NORMALITY, TABLE1_PASS_PERCENT
@@ -21,19 +27,24 @@ from repro.stats.battery import TEST_LABELS, TEST_NAMES
 
 APP_LABELS = {"minife": "MiniFE", "minimd": "MiniMD", "miniqmc": "MiniQMC"}
 
+#: one application's table source: merged dataset or streaming results
+TableSource = Union[TimingDataset, AnalysisResults]
+
 
 def _label(name: str) -> str:
     return APP_LABELS.get(name, name)
 
 
 def table1(
-    datasets: Dict[str, TimingDataset], *, include_paper: bool = True
+    datasets: Dict[str, TableSource], *, include_paper: bool = True
 ) -> List[Dict[str, object]]:
     """Rows of Table 1: measured pass percentages (and the paper's)."""
     rows: List[Dict[str, object]] = []
-    for name, dataset in datasets.items():
-        analyzer = ThreadTimingAnalyzer(dataset)
-        rates = analyzer.normality().process_iteration_pass_rates()
+    for name, source in datasets.items():
+        if isinstance(source, AnalysisResults):
+            rates = source["normality"].process_iteration_pass_rates
+        else:
+            rates = ThreadTimingAnalyzer(source).normality().process_iteration_pass_rates()
         row: Dict[str, object] = {"application": _label(name)}
         for test in TEST_NAMES:
             row[f"{TEST_LABELS[test]} (measured %)"] = 100.0 * rates[test]
@@ -44,13 +55,15 @@ def table1(
 
 
 def section4_metrics_table(
-    datasets: Dict[str, TimingDataset], *, include_paper: bool = True
+    datasets: Dict[str, TableSource], *, include_paper: bool = True
 ) -> List[Dict[str, object]]:
     """Rows of the §4.2 scalar-metric comparison."""
     rows: List[Dict[str, object]] = []
-    for name, dataset in datasets.items():
-        analyzer = ThreadTimingAnalyzer(dataset)
-        report = analyzer.report(include_earlybird=False)
+    for name, source in datasets.items():
+        if isinstance(source, AnalysisResults):
+            report = source.report(include_earlybird=False)
+        else:
+            report = ThreadTimingAnalyzer(source).report(include_earlybird=False)
         row: Dict[str, object] = {
             "application": _label(name),
             "mean_median_arrival_ms (measured)": report.mean_median_arrival_ms,
@@ -77,16 +90,28 @@ def section4_metrics_table(
 
 
 def section41_normality_table(
-    datasets: Dict[str, TimingDataset], *, include_paper: bool = True
+    datasets: Dict[str, TableSource], *, include_paper: bool = True
 ) -> List[Dict[str, object]]:
     """Rows of the §4.1 application/application-iteration outcomes."""
     rows: List[Dict[str, object]] = []
-    for name, dataset in datasets.items():
-        study = ThreadTimingAnalyzer(dataset).normality()
-        app_iter_passes = study.application_iteration_pass_counts()
+    for name, source in datasets.items():
+        if isinstance(source, AnalysisResults):
+            product = source["normality"]
+            rejected = product.application_rejected
+            app_iter_passes = product.application_iteration_pass_counts
+            if app_iter_passes is None:
+                raise ValueError(
+                    "the streaming normality product carries no "
+                    "application-iteration counts (sketch mode?); re-run the "
+                    "'normality' pass in exact mode for the Section 4.1 table"
+                )
+        else:
+            study = ThreadTimingAnalyzer(source).normality()
+            rejected = study.application_rejects_normality()
+            app_iter_passes = study.application_iteration_pass_counts()
         row: Dict[str, object] = {
             "application": _label(name),
-            "application level rejected (measured)": study.application_rejects_normality(),
+            "application level rejected (measured)": rejected,
             "app-iterations passing D'Agostino (measured)": app_iter_passes["dagostino"],
         }
         if include_paper and name in SECTION41_NORMALITY:
@@ -99,10 +124,12 @@ def section41_normality_table(
     return rows
 
 
-def minimd_phase_table(dataset: TimingDataset, warmup_iterations: int = 19) -> List[Dict[str, object]]:
+def minimd_phase_table(dataset: TableSource, warmup_iterations: int = 19) -> List[Dict[str, object]]:
     """The §4.2.2 two-phase IQR comparison for MiniMD (Figure 6's sections)."""
-    analyzer = ThreadTimingAnalyzer(dataset)
-    series = analyzer.percentile_series()
+    if isinstance(dataset, AnalysisResults):
+        series = dataset["percentiles"]
+    else:
+        series = ThreadTimingAnalyzer(dataset).percentile_series()
     warmup = series.iqr_summary(slice(0, warmup_iterations))
     steady = series.iqr_summary(slice(warmup_iterations, None))
     paper = SECTION4_METRICS["minimd"]

@@ -1,0 +1,334 @@
+"""The in-process async campaign service.
+
+:class:`CampaignService` is the front door for concurrent clients: it
+accepts scenario names or :class:`~repro.experiments.config.CampaignConfig`
+objects, coalesces identical in-flight submissions, serves completed
+configurations straight out of the session's config-hash ``.npz`` cache,
+and executes everything else on a bounded worker pool — streaming shards
+back the moment the executor produces them::
+
+    service = CampaignService(workers=2, max_queue=32, cache_dir="cache/")
+    async with service:
+        handle = await service.submit("manzano-default", scale="smoke")
+        async for shard in handle.stream():
+            ...                       # shards arrive incrementally
+        result = await handle.result()  # bit-identical to CampaignSession.run
+
+Execution bridges the synchronous campaign machinery into asyncio with
+``loop.run_in_executor``: each claimed job occupies one thread of a pool
+sized to the worker count, iterates
+:meth:`ShardExecutor.iter_shards <repro.experiments.executor.ShardExecutor.iter_shards>`
+(the documented incremental shard contract) and posts every shard back to
+the event loop, where the job broadcasts it to stream subscribers.  The
+thread polls the job's cancel flag between shards, so cancellation stops a
+running job at the next shard boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.timing import TimingDataset
+from repro.experiments.backends import get_backend
+from repro.experiments.config import CampaignConfig
+from repro.experiments.executor import ShardExecutor
+from repro.experiments.session import (
+    CampaignResult,
+    campaign_cache_path,
+    config_cache_key,
+)
+from repro.service.dedup import RequestCoalescer
+from repro.service.jobs import Job, JobHandle, JobState, dataset_digest
+from repro.service.queue import JobScheduler, RejectedError
+
+#: campaign-size presets a submission may name (mirrors the CLI's --scale)
+SCALES = ("smoke", "benchmark", "paper")
+
+
+class _CancelledBetweenShards(Exception):
+    """Internal: the producing thread observed the cancel flag."""
+
+
+class CampaignService:
+    """Async multi-tenant campaign server (in-process API).
+
+    Parameters
+    ----------
+    workers:
+        Concurrent jobs (asyncio worker tasks, each backed by one thread
+        of the execution pool).  Within a job, ``config.max_workers`` still
+        fans shards across the parallel executor.
+    max_queue:
+        Admission bound: submissions beyond this many *waiting* jobs raise
+        :class:`~repro.service.queue.RejectedError`.
+    cache_dir:
+        Directory shared with :class:`~repro.experiments.session.CampaignSession`
+        for config-hash-keyed ``.npz`` results; completed configurations
+        are served from it without re-execution (``cache_hits`` counter).
+        ``None`` disables caching.
+    executor_mode:
+        Worker-pool flavour for within-job shard parallelism (``"process"``
+        or ``"thread"``), as in :class:`CampaignSession`.
+    default_scale:
+        Preset used when a scenario-name submission does not specify one.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_queue: int = 32,
+        cache_dir: Optional[Union[str, Path]] = None,
+        executor_mode: str = "process",
+        default_scale: str = "smoke",
+    ) -> None:
+        if default_scale not in SCALES:
+            raise ValueError(
+                f"default_scale must be one of {SCALES}, got {default_scale!r}"
+            )
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.executor_mode = executor_mode
+        self.default_scale = default_scale
+        self._scheduler = JobScheduler(
+            self._execute, workers=workers, max_queue=max_queue
+        )
+        self._coalescer = RequestCoalescer()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._jobs: Dict[str, Job] = {}
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "submitted": 0,
+            "rejected": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._scheduler.started
+
+    async def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._scheduler.workers,
+                thread_name_prefix="campaign-job",
+            )
+        await self._scheduler.start()
+
+    async def stop(self) -> None:
+        """Cancel outstanding jobs cooperatively and stop the workers."""
+        for job in self._jobs.values():
+            if not job.finished:
+                job.cancel()
+        if self._pool is not None:
+            # threads observe the cancel flag at the next shard boundary
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.shutdown, True
+            )
+            self._pool = None
+        await self._scheduler.stop()
+
+    async def __aenter__(self) -> "CampaignService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def resolve_config(
+        self,
+        request: Union[str, CampaignConfig],
+        *,
+        scale: Optional[str] = None,
+        **overrides,
+    ) -> CampaignConfig:
+        """Turn a submission into a concrete :class:`CampaignConfig`.
+
+        ``request`` is either a registered scenario name (resolved at
+        ``scale``, with dimension/seed/backend/max_workers overrides
+        forwarded) or an already-built config (used as-is; ``scale`` and
+        overrides are rejected to avoid silently ignoring them).
+        """
+        if isinstance(request, CampaignConfig):
+            if scale is not None or overrides:
+                raise ValueError(
+                    "scale/overrides only apply to scenario-name submissions; "
+                    "pass a fully-built CampaignConfig instead"
+                )
+            return request
+        from repro.scenarios import get_scenario
+
+        return get_scenario(str(request)).campaign_config(
+            scale if scale is not None else self.default_scale, **overrides
+        )
+
+    async def submit(
+        self,
+        request: Union[str, CampaignConfig],
+        *,
+        scale: Optional[str] = None,
+        priority: int = 0,
+        use_cache: bool = True,
+        coalesce: bool = True,
+        **overrides,
+    ) -> JobHandle:
+        """Submit a campaign; returns immediately with a :class:`JobHandle`.
+
+        Identical concurrent submissions (same
+        :func:`~repro.experiments.session.config_cache_key`) coalesce onto
+        one in-flight job unless ``coalesce=False``; higher ``priority``
+        jobs run earlier.  Raises
+        :class:`~repro.service.queue.RejectedError` when the queue is at
+        its admission bound.
+        """
+        if not self.started:
+            raise RuntimeError("service not started; use 'async with service:'")
+        config = self.resolve_config(request, scale=scale, **overrides)
+        self._count("submitted")
+        if coalesce and use_cache:
+            existing = self._coalescer.lookup(config_cache_key(config))
+            if existing is not None:
+                return JobHandle(existing, coalesced=True)
+        self._next_id += 1
+        job = Job(
+            f"job-{self._next_id:06d}",
+            config,
+            priority=priority,
+            use_cache=use_cache,
+            shards_total=len(get_backend(config.backend).shard_specs(config)),
+        )
+        try:
+            self._scheduler.submit(job)
+        except RejectedError:
+            self._count("rejected")
+            raise
+        self._jobs[job.id] = job
+        if coalesce and use_cache:
+            self._coalescer.register(job)
+        return JobHandle(job, coalesced=False)
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        """The job with ``job_id``, or ``None``."""
+        return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Service-wide counters (the ``GET /stats`` payload)."""
+        states: Dict[str, int] = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            states[job.state.value] += 1
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            **counters,
+            **self._coalescer.stats(),
+            "queue_depth": self._scheduler.depth,
+            "max_queue": self._scheduler.queue.max_depth,
+            "running": self._scheduler.running,
+            "workers": self._scheduler.workers,
+            "jobs": states,
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+        }
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] += amount
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _execute(self, job: Job) -> None:
+        """Worker-task handler: run one claimed job on the thread pool."""
+        loop = asyncio.get_running_loop()
+        job._mark_running()
+        assert self._pool is not None
+        await loop.run_in_executor(self._pool, self._produce, job, loop)
+
+    def _produce(self, job: Job, loop: asyncio.AbstractEventLoop) -> None:
+        """Synchronous job body (worker thread).
+
+        Every job mutation is posted back to the event loop; this thread
+        only reads ``job.cancel_requested`` (between shards) and the
+        immutable config.
+        """
+
+        def post(callback, *args) -> None:
+            loop.call_soon_threadsafe(callback, *args)
+
+        def check_cancel() -> None:
+            if job.cancel_requested.is_set():
+                raise _CancelledBetweenShards()
+
+        try:
+            config = job.config
+            cache_path = campaign_cache_path(self.cache_dir, config)
+            if cache_path is not None and job.use_cache and cache_path.exists():
+                from repro.io.dataset_io import load_dataset
+
+                self._count("cache_hits")
+                dataset = load_dataset(cache_path)
+                scenario = getattr(config, "scenario", None)
+                if dataset.metadata.get("scenario") != scenario:
+                    dataset = dataset.with_metadata(scenario=scenario)
+                result = CampaignResult(config, dataset=dataset, from_cache=True)
+                shards = result.shards  # derived per trial on cache hits
+                post(setattr, job.progress, "shards_total", len(shards))
+                for shard in shards:
+                    check_cancel()
+                    post(job._deliver, shard)
+                post(
+                    functools.partial(
+                        job._finish, result, dataset_digest(dataset), from_cache=True
+                    )
+                )
+                return
+            if self.cache_dir is not None:
+                self._count("cache_misses")
+            backend = get_backend(config.backend)
+            executor = ShardExecutor(mode=self.executor_mode)
+            shards = []
+            for shard in executor.iter_shards(backend, config):
+                check_cancel()
+                shards.append(shard)
+                post(job._deliver, shard)
+            check_cancel()
+            metadata = backend.metadata(config)
+            dataset = TimingDataset.merge(shards, metadata=metadata)
+            if cache_path is not None:
+                from repro.io.dataset_io import save_dataset
+
+                save_dataset(dataset, cache_path)
+            result = CampaignResult(
+                config, shards=shards, dataset=dataset, metadata=metadata
+            )
+            post(
+                functools.partial(
+                    job._finish, result, dataset_digest(dataset), from_cache=False
+                )
+            )
+        except _CancelledBetweenShards:
+            post(job._mark_cancelled)
+        except BaseException as error:  # surfaced through handle.result()
+            post(job._fail, error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CampaignService(workers={self._scheduler.workers}, "
+            f"max_queue={self._scheduler.queue.max_depth}, "
+            f"jobs={len(self._jobs)}, cache_dir={self.cache_dir})"
+        )
