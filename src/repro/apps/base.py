@@ -25,6 +25,7 @@ import numpy as np
 from repro.cluster.noise import OSNoiseModel
 from repro.cluster.topology import Core
 from repro.openmp.schedule import LoopSchedule, StaticSchedule
+from repro.sim.random import maybe_scope
 
 
 @dataclass
@@ -52,6 +53,11 @@ class ProxyApplication(ABC):
     name: str = "abstract"
     #: name of the instrumented compute region (e.g. ``'matvec'``)
     region: str = "compute"
+    #: whether the app's campaign hooks draw whole shard-major tensors
+    #: (``True`` for all built-ins); ``False`` routes the ``"campaign"``
+    #: backend through the generic per-shard fallback, which is correct for
+    #: any third-party application that only implements the per-shard API
+    campaign_tensor: bool = False
 
     def __init__(self, config: Optional[ApplicationConfig] = None) -> None:
         self.config = config if config is not None else ApplicationConfig()
@@ -177,6 +183,142 @@ class ProxyApplication(ABC):
                 times = times * np.clip(jitter, 0.5, None)
             times = times + noise.batch_delays(times, rng)
         return times
+
+    # ------------------------------------------------------------------
+    # whole-campaign tensor decomposition (the ``"campaign"`` backend)
+    # ------------------------------------------------------------------
+    def begin_campaign(
+        self, shards: Sequence[tuple], rng: np.random.Generator
+    ) -> None:
+        """Hook invoked once per shard chunk before its campaign draws.
+
+        The tensor analogue of :meth:`begin_process`: applications with
+        per-process state draw it here for *all* ``shards`` — a sequence of
+        ``(trial, process)`` pairs — in one shard-major vectorised draw.
+        Only consulted when :attr:`campaign_tensor` is true; the generic
+        fallback calls :meth:`begin_process` per shard instead.
+        """
+
+    def item_costs_campaign(
+        self, shards: Sequence[tuple], n_iterations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Cost tensor ``(n_shards, n_iterations, n_items)`` of many shards.
+
+        The generic fallback stacks :meth:`item_costs_batch` planes under an
+        absolute per-shard draw scope, so chunking the shard axis cannot
+        change the draws.  Tensor applications override this with one 3-D
+        shard-major draw.
+        """
+        planes = []
+        for trial, process in shards:
+            with maybe_scope(rng, "shard", int(trial), int(process)):
+                planes.append(self.item_costs_batch(int(process), n_iterations, rng))
+        return np.stack(planes)
+
+    def base_thread_times_campaign(
+        self, shards: Sequence[tuple], n_iterations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Pure compute times ``(n_shards, n_iterations, n_threads)`` of many
+        shards, folded through the schedule's whole-campaign kernel — one
+        :meth:`~repro.openmp.schedule.LoopSchedule.simulate_campaign` call
+        for the entire chunk, each plane bit-identical to the per-shard
+        ``simulate_batch`` fold."""
+        costs = self.item_costs_campaign(shards, n_iterations, rng)
+        return self.config.schedule.simulate_campaign(costs, self.config.n_threads)
+
+    def application_delays_campaign(
+        self, shards: Sequence[tuple], n_iterations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Application delays ``(n_shards, n_iterations, n_threads)``.
+
+        Generic fallback: stacked per-shard :meth:`application_delays_batch`
+        under absolute per-shard scopes (chunk-invariant).
+        """
+        planes = []
+        for trial, process in shards:
+            with maybe_scope(rng, "shard", int(trial), int(process)):
+                planes.append(
+                    self.application_delays_batch(int(process), n_iterations, rng)
+                )
+        return np.stack(planes)
+
+    def finalize_campaign_times(
+        self,
+        base: np.ndarray,
+        shards: Sequence[tuple],
+        n_iterations: int,
+        rng: np.random.Generator,
+        noise: Optional[OSNoiseModel] = None,
+    ) -> np.ndarray:
+        """Apply delays, jitter and OS noise to a folded busy-time tensor.
+
+        Split out of :meth:`thread_compute_times_campaign` so grouped
+        executions (several compatible configs sharing one schedule fold —
+        ``ScenarioMatrix`` sweeps, coalesced service jobs) can hoist the fold
+        and still draw each config's delays/jitter/noise under the exact
+        scopes a solo run uses, keeping grouped results bit-identical to
+        per-config runs.
+        """
+        with maybe_scope(rng, "delays"):
+            extra = self.application_delays_campaign(shards, n_iterations, rng)
+        if extra.shape != base.shape:
+            raise ValueError(
+                "application_delays_campaign must return one value per "
+                "(shard, iteration, thread)"
+            )
+        times = base + extra
+        if noise is not None:
+            if noise.spec.enabled and noise.spec.jitter_fraction > 0:
+                with maybe_scope(rng, "jitter"):
+                    jitter = rng.normal(
+                        1.0, noise.spec.jitter_fraction, size=times.shape
+                    )
+                times = times * np.clip(jitter, 0.5, None)
+            with maybe_scope(rng, "noise"):
+                times = times + noise.batch_delays(times, rng)
+        return times
+
+    def thread_compute_times_campaign(
+        self,
+        *,
+        shards: Sequence[tuple],
+        rng: np.random.Generator,
+        noise: Optional[OSNoiseModel] = None,
+        n_iterations: Optional[int] = None,
+    ) -> np.ndarray:
+        """Measured compute times of many (trial, process) shards at once.
+
+        The whole-campaign analogue of :meth:`thread_compute_times_batch`:
+        returns the ``(n_shards, n_iterations, n_threads)`` tensor with one
+        schedule fold, one jitter draw and one noise pass over the entire
+        chunk.  Draws are scoped by purpose (``rng`` is normally the
+        campaign backend's chunk-invariant
+        :class:`~repro.sim.random.PurposeSplitRNG`), so any partition of the
+        shard axis produces bit-identical samples.  Applications without
+        :attr:`campaign_tensor` fall back to whole per-shard
+        :meth:`thread_compute_times_batch` calls under absolute per-shard
+        scopes — same chunk-invariance, no 3-D overrides required.
+        """
+        n_iter = self.config.n_iterations if n_iterations is None else n_iterations
+        if n_iter < 1:
+            raise ValueError("n_iterations must be >= 1")
+        shards = [(int(trial), int(process)) for trial, process in shards]
+        if not self.campaign_tensor:
+            out = np.empty(
+                (len(shards), n_iter, self.config.n_threads), dtype=np.float64
+            )
+            for index, (trial, process) in enumerate(shards):
+                with maybe_scope(rng, "shard", trial, process):
+                    self.begin_process(process, rng)
+                    out[index] = self.thread_compute_times_batch(
+                        process=process, rng=rng, noise=noise, n_iterations=n_iter
+                    )
+            return out
+        with maybe_scope(rng, "state"):
+            self.begin_campaign(shards, rng)
+        with maybe_scope(rng, "costs"):
+            base = self.base_thread_times_campaign(shards, n_iter, rng)
+        return self.finalize_campaign_times(base, shards, n_iter, rng, noise)
 
     # ------------------------------------------------------------------
     # sampling (vectorised campaign path)

@@ -164,6 +164,40 @@ class MiniFEApp(ProxyApplication):
         return delays
 
     # ------------------------------------------------------------------
+    # whole-campaign work model (the ``"campaign"`` backend)
+    # ------------------------------------------------------------------
+    campaign_tensor = True
+
+    def item_costs_campaign(self, shards, n_iterations, rng):
+        """Deterministic matrix: broadcast the pencil costs (zero draws)."""
+        return np.broadcast_to(
+            self._item_costs, (len(shards), n_iterations, self._item_costs.size)
+        )
+
+    def base_thread_times_campaign(self, shards, n_iterations, rng):
+        """Broadcast the cached busy-time row over all shards and iterations
+        (bit-identical to folding the broadcast cost tensor: every schedule's
+        campaign kernel replays identical rows to identical sums)."""
+        row = self.base_thread_times(0, 0, rng)
+        return np.broadcast_to(row, (len(shards), n_iterations, row.size))
+
+    def application_delays_campaign(self, shards, n_iterations, rng):
+        """Every straggler event of the whole campaign in three shard-major
+        draws — which (shard, iteration) cells straggle, the victim threads,
+        the delays."""
+        cfg = self.config
+        delays = np.zeros((len(shards), n_iterations, cfg.n_threads))
+        hit = rng.uniform(size=(len(shards), n_iterations)) < cfg.straggler_probability
+        n_hit = int(hit.sum())
+        if n_hit:
+            victims = rng.integers(cfg.n_threads, size=n_hit)
+            shard_idx, iter_idx = np.nonzero(hit)
+            delays[shard_idx, iter_idx, victims] = rng.uniform(
+                cfg.straggler_min_s, cfg.straggler_max_s, size=n_hit
+            )
+        return delays
+
+    # ------------------------------------------------------------------
     # reference kernel
     # ------------------------------------------------------------------
     def run_reference_kernel(self, rng: np.random.Generator) -> Dict[str, float]:

@@ -150,6 +150,60 @@ class MiniQMCApp(ProxyApplication):
         return np.clip(draws, 0.2 * self.mover_mean_s, None) * cfg.sweeps_per_iteration
 
     # ------------------------------------------------------------------
+    # whole-campaign work model (the ``"campaign"`` backend)
+    # ------------------------------------------------------------------
+    campaign_tensor = True
+
+    def begin_campaign(self, shards, rng) -> None:
+        """Walker-population statistics of *all* shards (the tensor analogue
+        of :meth:`begin_process`).
+
+        The realized per-process (mean, sd) parameters shape every cost draw
+        of a shard, so they are taken from the *same* per-shard ``"work"``
+        streams :meth:`begin_process` consumes under the per-shard backends
+        — the campaign backend's mixture components are then bit-identical
+        to the vectorized/batched ones, and distributional agreement holds
+        even for small process ensembles.  Two scalar draws per shard keep
+        this chunk-invariant (each shard's stream is touched exactly once,
+        whatever the chunking).
+        """
+        cfg = self.config
+        streams = getattr(rng, "root_streams", None)
+        if streams is not None:
+            means = np.empty(len(shards))
+            sds = np.empty(len(shards))
+            for index, (trial, process) in enumerate(shards):
+                work_rng = streams.get(self.name, "work", int(trial), int(process))
+                self.begin_process(int(process), work_rng)
+                means[index] = self._process_mean_scale
+                sds[index] = self._process_sd_scale
+            self._campaign_mean_scales = means
+            self._campaign_sd_scales = sds
+            return
+        # plain-Generator fallback: shard-major tensor draws
+        self._campaign_mean_scales = np.clip(
+            rng.normal(1.0, cfg.process_mean_spread, size=len(shards)), 0.5, 1.5
+        )
+        self._campaign_sd_scales = rng.uniform(
+            1.0 - cfg.process_sd_spread,
+            1.0 + cfg.process_sd_spread,
+            size=len(shards),
+        )
+
+    def item_costs_campaign(self, shards, n_iterations, rng):
+        """All shards' per-walker mover times as one 3-D normal draw with
+        per-shard (mean, sd) broadcast along the leading axis."""
+        cfg = self.config
+        mean = self.mover_mean_s * self._campaign_mean_scales[:, None, None]
+        sd = (
+            self.mover_mean_s
+            * self.mover_relative_sd
+            * self._campaign_sd_scales[:, None, None]
+        )
+        draws = rng.normal(mean, sd, size=(len(shards), n_iterations, cfg.n_threads))
+        return np.clip(draws, 0.2 * self.mover_mean_s, None) * cfg.sweeps_per_iteration
+
+    # ------------------------------------------------------------------
     # reference kernel
     # ------------------------------------------------------------------
     def run_reference_kernel(self, rng: np.random.Generator) -> Dict[str, float]:

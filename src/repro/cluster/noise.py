@@ -289,8 +289,15 @@ class OSNoiseModel:
             return np.zeros_like(work)
         gen = rng if rng is not None else self._rng
         extra = np.zeros_like(work)
-        for source in self.sources:
-            extra = extra + source.batch_extra(work, gen)
+        # each source draws under its own scope when the rng splits draws by
+        # purpose (the campaign backend's chunk-invariant PurposeSplitRNG);
+        # plain generators pass through maybe_scope untouched, so the other
+        # backends' draw sequences — and pinned digests — are unchanged
+        from repro.sim.random import maybe_scope
+
+        for index, source in enumerate(self.sources):
+            with maybe_scope(gen, "source", index):
+                extra = extra + source.batch_extra(work, gen)
         return extra
 
     # ------------------------------------------------------------------

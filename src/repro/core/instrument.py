@@ -165,6 +165,60 @@ class RegionInstrumenter:
             }
         )
 
+    def record_campaign(
+        self,
+        *,
+        shards: Sequence[Tuple[int, int]],
+        compute_times_s: np.ndarray,
+        first_iteration: int = 0,
+    ) -> None:
+        """Record a whole ``(n_shards, n_iterations, n_threads)`` tensor as
+        one columnar block.
+
+        The whole-campaign backend produces many (trial, process) shards in
+        one chunk; this assembles all their columns at once — trial/process
+        ids via ``np.repeat`` over the shard axis, iteration/thread ids via
+        one ``repeat``/``tile`` shared by every shard — so a chunk costs one
+        block regardless of how many shards it spans.  Row order equals
+        consecutive :meth:`record_block` calls per shard, so datasets merge
+        bit-identically with per-shard recording.
+        """
+        times = np.asarray(compute_times_s, dtype=np.float64)
+        if times.ndim != 3:
+            raise ValueError(
+                "compute_times_s must be 3-D (shards x iterations x threads), "
+                f"got shape {times.shape}"
+            )
+        if len(shards) != times.shape[0]:
+            raise ValueError(
+                f"got {len(shards)} shard ids for {times.shape[0]} planes"
+            )
+        if np.any(times < 0):
+            raise ValueError("compute times must be non-negative")
+        n_shards, n_iterations, n_threads = times.shape
+        per_shard = n_iterations * n_threads
+        flat = times.reshape(-1).copy()
+        trials = np.asarray([trial for trial, _ in shards], dtype=np.int32)
+        processes = np.asarray([process for _, process in shards], dtype=np.int32)
+        self._flush_rows()
+        self._blocks.append(
+            {
+                "trial": np.repeat(trials, per_shard),
+                "process": np.repeat(processes, per_shard),
+                "iteration": np.tile(
+                    np.repeat(
+                        np.arange(first_iteration, first_iteration + n_iterations),
+                        n_threads,
+                    ),
+                    n_shards,
+                ),
+                "thread": np.tile(np.arange(n_threads), n_shards * n_iterations),
+                "start_ns": np.zeros(times.size, dtype=np.int64),
+                "end_ns": (flat * 1e9).astype(np.int64),
+                "compute_time_s": flat,
+            }
+        )
+
     def _flush_rows(self) -> None:
         """Convert any pending per-row appends into a columnar block, so
         mixed ``record_*`` call sequences keep their chronological order."""

@@ -26,6 +26,17 @@ campaign layer without touching it.  Three backends ship with the package:
   per-iteration ``simulate``).  Draws its randomness in a different order
   than ``"vectorized"``, so the two agree in distribution but not
   bit-for-bit (the batched backend pins its own digests).
+* ``"campaign"`` — the whole-campaign tensor kernel: the batched math lifted
+  one more axis, sampling *all* (trial, process) shards as
+  ``(n_shards, n_iterations, n_threads)`` arrays — one schedule fold, one
+  noise draw per source, one columnar instrumenter assembly for an entire
+  shard chunk (``chunk_shards`` bounds peak memory; results are
+  bit-identical across any chunking thanks to the purpose-split draw
+  streams).  Like ``"batched"`` it agrees with ``"vectorized"`` in
+  distribution, not bit-for-bit, and pins its own digests.
+  :meth:`CampaignTensorBackend.run_many` additionally lets several
+  compatible campaigns (scenario-matrix sweeps, concurrent service jobs)
+  share one tensor execution.
 
 Every backend decomposes its campaign into *shards* (:meth:`shard_specs` /
 :meth:`run_shard`).  A shard re-derives all of its random streams from the
@@ -40,11 +51,13 @@ import dataclasses
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Type
 
+import numpy as np
+
 from repro.apps import get_application
 from repro.apps.base import ProxyApplication
 from repro.core.instrument import RegionInstrumenter
 from repro.core.timing import TimingDataset, TimingShard
-from repro.sim.random import RandomStreams
+from repro.sim.random import PurposeSplitRNG, RandomStreams, maybe_scope
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.experiments.config import CampaignConfig
@@ -93,6 +106,11 @@ class CampaignBackend(ABC):
     name: str = "abstract"
     #: whether the backend is primarily consumed as a shard stream
     streaming: bool = False
+    #: whether shards may be fanned out across the parallel executor's
+    #: worker pool; ``False`` forces the executor onto the serial path that
+    #: defers to :meth:`iter_shards` (backends whose unit of work is the
+    #: whole campaign, not a shard)
+    parallelizable: bool = True
 
     # ------------------------------------------------------------------
     # shard decomposition
@@ -386,3 +404,234 @@ class EventBackend(CampaignBackend):
         return TimingShard.from_dataset(
             instrumenter.dataset(), trial=trial, process=None
         )
+
+
+def campaign_group_key(config: "CampaignConfig") -> Tuple:
+    """Grouping key for campaigns that can share one tensor execution.
+
+    Two configs with equal keys run the same application geometry under the
+    same loop schedule for the same number of iterations and threads — so
+    their cost tensors concatenate along the shard axis and fold through
+    *one* ``simulate_campaign`` call.  Seeds, machines and noise profiles may
+    differ freely: every draw comes from per-config purpose streams, so
+    grouped execution stays bit-identical to per-config runs.
+    """
+    schedule = getattr(config, "schedule", None)
+    normalized = str(schedule).strip().lower() if schedule is not None else None
+    return (config.application, config.threads, config.iterations, normalized)
+
+
+@register_backend("campaign")
+class CampaignTensorBackend(CampaignBackend):
+    """Whole-campaign tensor sampling: every shard in one (chunked) pass.
+
+    The batched shard kernel lifted one axis: all (trial, process) shards of
+    a campaign are sampled together as ``(n_shards, n_iterations,
+    n_threads)`` arrays — one schedule fold through
+    :meth:`~repro.openmp.schedule.LoopSchedule.simulate_campaign`, one draw
+    per noise source over the whole tensor, and one columnar
+    :meth:`~repro.core.instrument.RegionInstrumenter.record_campaign`
+    assembly per chunk.  ``chunk_shards`` bounds how many shards are
+    resident at once; the results are **bit-identical for every chunking**
+    because all draws run through a chunk-invariant
+    :class:`~repro.sim.random.PurposeSplitRNG` (persistent per-purpose
+    generators, shard-major draw layout).
+
+    Randomness is necessarily ordered differently than both
+    ``"vectorized"`` (per iteration) and ``"batched"`` (per shard), so this
+    backend agrees with them in distribution — property-tested — while
+    pinning its own smoke digests.  The schedule fold itself keeps per-row
+    bit-identity with ``simulate_batch``/``simulate``.
+
+    The campaign is one unit of work, so the backend is not shard-parallel:
+    the executor's pool path is bypassed (``parallelizable = False``) and
+    :meth:`run_shard` is unavailable by construction.
+    """
+
+    streaming = True
+    parallelizable = False
+
+    #: default shard-chunk size: large enough that benchmark-scale campaigns
+    #: (4 shards) run in one pass, small enough that a paper-scale MiniFE
+    #: campaign never materialises more than ~0.5 GB of cost tensor
+    DEFAULT_CHUNK_SHARDS = 8
+
+    def __init__(self, chunk_shards: Optional[int] = None) -> None:
+        if chunk_shards is not None and chunk_shards < 1:
+            raise ValueError("chunk_shards must be >= 1")
+        self.chunk_shards = (
+            int(chunk_shards) if chunk_shards is not None else self.DEFAULT_CHUNK_SHARDS
+        )
+
+    # ------------------------------------------------------------------
+    def shard_specs(self, config: "CampaignConfig") -> List[ShardSpec]:
+        return [
+            ShardSpec(trial=trial, process=process)
+            for trial in range(config.trials)
+            for process in range(config.processes)
+        ]
+
+    def run_shard(
+        self, config: "CampaignConfig", spec: ShardSpec, streams: RandomStreams
+    ) -> TimingShard:
+        raise NotImplementedError(
+            "the campaign backend samples whole campaigns, not single shards; "
+            "use iter_shards()/run() (the executor's serial path does)"
+        )
+
+    # ------------------------------------------------------------------
+    def _context(self, config: "CampaignConfig", streams: Optional[RandomStreams]):
+        """Per-campaign execution context: app, purpose rng, noise model."""
+        streams = streams if streams is not None else RandomStreams(config.seed)
+        app = build_application(config)
+        rng = PurposeSplitRNG(streams, app.name, "campaign")
+        noise = config.machine.build_noise_model(
+            streams.get(app.name, "campaign-noise-model")
+        )
+        shards = [(spec.trial, spec.process) for spec in self.shard_specs(config)]
+        return app, rng, noise, shards
+
+    def _emit_shards(
+        self, app: ProxyApplication, chunk: List[Tuple[int, int]], times: np.ndarray
+    ) -> Iterator[TimingShard]:
+        """One columnar assembly for the chunk, sliced into per-shard views."""
+        instrumenter = RegionInstrumenter(region=app.region, application=app.name)
+        instrumenter.record_campaign(shards=chunk, compute_times_s=times)
+        dataset = instrumenter.dataset()
+        per_shard = times.shape[1] * times.shape[2]
+        for index, (trial, process) in enumerate(chunk):
+            rows = slice(index * per_shard, (index + 1) * per_shard)
+            columns = {
+                name: dataset.column(name)[rows] for name in dataset.columns
+            }
+            yield TimingShard(trial=trial, process=process, columns=columns)
+
+    def iter_shards(
+        self, config: "CampaignConfig", streams: Optional[RandomStreams] = None
+    ) -> Iterator[TimingShard]:
+        """Yield the campaign's shards, sampled a whole chunk at a time."""
+        app, rng, noise, shards = self._context(config, streams)
+        for start in range(0, len(shards), self.chunk_shards):
+            chunk = shards[start : start + self.chunk_shards]
+            times = app.thread_compute_times_campaign(
+                shards=chunk, rng=rng, noise=noise
+            )
+            yield from self._emit_shards(app, chunk, times)
+
+    def run(
+        self, config: "CampaignConfig", streams: Optional[RandomStreams] = None
+    ) -> TimingDataset:
+        """Run the whole campaign as one columnar assembly.
+
+        Chunks append straight into a single instrumenter — no per-shard
+        column slicing, no merge re-concatenation.  Shards are produced in
+        trial-major order, so the rows equal the merged :meth:`iter_shards`
+        stream bit-for-bit; only the assembly cost differs.
+        """
+        app, rng, noise, shards = self._context(config, streams)
+        instrumenter = RegionInstrumenter(
+            region=app.region,
+            application=app.name,
+            metadata=self.metadata(config),
+        )
+        for start in range(0, len(shards), self.chunk_shards):
+            chunk = shards[start : start + self.chunk_shards]
+            times = app.thread_compute_times_campaign(
+                shards=chunk, rng=rng, noise=noise
+            )
+            instrumenter.record_campaign(shards=chunk, compute_times_s=times)
+        return instrumenter.dataset()
+
+    # ------------------------------------------------------------------
+    # grouped execution (scenario-matrix sweeps, coalesced service jobs)
+    # ------------------------------------------------------------------
+    def run_many(self, configs: List["CampaignConfig"]) -> List[TimingDataset]:
+        """Run several campaigns, sharing tensor execution where compatible.
+
+        Configs with equal :func:`campaign_group_key` concatenate their cost
+        tensors along the shard axis and fold the schedule *once* per chunk
+        (plus one columnar assembly per config segment); incompatible
+        configs run individually.  Returns the merged datasets in input
+        order, each **bit-identical** to ``run(config)`` — all draws come
+        from per-config purpose streams, only the deterministic fold and the
+        assembly are shared.
+        """
+        configs = list(configs)
+        groups: Dict[Tuple, List[int]] = {}
+        for index, config in enumerate(configs):
+            groups.setdefault(campaign_group_key(config), []).append(index)
+        results: List[Optional[TimingDataset]] = [None] * len(configs)
+        for indices in groups.values():
+            if len(indices) == 1:
+                index = indices[0]
+                results[index] = self.run(configs[index])
+                continue
+            shard_lists = self._run_group([configs[i] for i in indices])
+            for index, shards in zip(indices, shard_lists):
+                results[index] = TimingDataset.merge(
+                    shards, metadata=self.metadata(configs[index])
+                )
+        return results  # type: ignore[return-value]
+
+    def _run_group(
+        self, group: List["CampaignConfig"]
+    ) -> List[List[TimingShard]]:
+        """Shared tensor execution of one compatible config group."""
+        contexts = [self._context(config, None) for config in group]
+        n_iterations = group[0].iterations
+        n_threads = group[0].threads
+        schedule = contexts[0][0].config.schedule
+        # concatenated shard axis: (config index, trial, process), config-major
+        entries = [
+            (config_index, shard)
+            for config_index, (_, _, _, shards) in enumerate(contexts)
+            for shard in shards
+        ]
+        out: List[List[TimingShard]] = [[] for _ in group]
+        for start in range(0, len(entries), self.chunk_shards):
+            chunk = entries[start : start + self.chunk_shards]
+            # per-config contiguous segments of this chunk
+            segments: List[Tuple[int, List[Tuple[int, int]]]] = []
+            for config_index, shard in chunk:
+                if segments and segments[-1][0] == config_index:
+                    segments[-1][1].append(shard)
+                else:
+                    segments.append((config_index, [shard]))
+            folded: List[Tuple[int, List[Tuple[int, int]], Optional[np.ndarray]]] = []
+            cost_planes: List[np.ndarray] = []
+            for config_index, shards in segments:
+                app, rng, noise, _ = contexts[config_index]
+                if not app.campaign_tensor:
+                    # generic apps have no separable cost tensor: run their
+                    # segment whole (still chunk-invariant, just unshared)
+                    times = app.thread_compute_times_campaign(
+                        shards=shards, rng=rng, noise=noise
+                    )
+                    out[config_index].extend(self._emit_shards(app, shards, times))
+                    folded.append((config_index, shards, None))
+                    continue
+                with maybe_scope(rng, "state"):
+                    app.begin_campaign(shards, rng)
+                with maybe_scope(rng, "costs"):
+                    costs = app.item_costs_campaign(shards, n_iterations, rng)
+                cost_planes.append(np.asarray(costs, dtype=np.float64))
+                folded.append((config_index, shards, cost_planes[-1]))
+            if cost_planes:
+                # the shared fold: one simulate_campaign over every tensor
+                # segment of the chunk (deterministic, plane-bit-identical
+                # to per-config folds)
+                busy_all = schedule.simulate_campaign(
+                    np.concatenate(cost_planes, axis=0), n_threads
+                )
+                offset = 0
+                for config_index, shards, costs in folded:
+                    if costs is None:
+                        continue
+                    app, rng, noise, _ = contexts[config_index]
+                    base = busy_all[offset : offset + len(shards)]
+                    offset += len(shards)
+                    times = app.finalize_campaign_times(
+                        base, shards, n_iterations, rng, noise
+                    )
+                    out[config_index].extend(self._emit_shards(app, shards, times))
+        return out

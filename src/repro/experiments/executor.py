@@ -124,6 +124,11 @@ class ShardExecutor:
         """
         specs = backend.shard_specs(config)
         workers = self._resolve_workers(config, len(specs))
+        if not getattr(backend, "parallelizable", True):
+            # the backend's unit of work is the whole campaign (e.g. the
+            # tensor backend), so fanning shards out would re-run it per
+            # shard; its iter_shards already streams incrementally
+            workers = 1
         if workers <= 1:
             # defer to the backend's own serial driver so overrides of
             # iter_shards (e.g. replaying pre-recorded shards) are honoured

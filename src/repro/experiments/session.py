@@ -369,31 +369,67 @@ class CampaignSession:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def cached(self, application: Optional[str] = None) -> Optional[CampaignResult]:
+        """Load one application's campaign from the result cache.
+
+        Returns ``None`` on a miss (or without a ``cache_dir``), leaving the
+        caller free to execute the campaign however it likes — see
+        :meth:`adopt` for handing the result back.
+        """
+        config = self.config_for(application)
+        cache_path = self._cache_path(config)
+        if cache_path is None or not cache_path.exists():
+            return None
+        from repro.io.dataset_io import load_dataset
+
+        dataset = load_dataset(cache_path)
+        # the cache key deliberately excludes the scenario label (it
+        # cannot change the samples), so a hit may carry the label of
+        # whichever scenario populated the entry — re-stamp it
+        scenario = getattr(config, "scenario", None)
+        if dataset.metadata.get("scenario") != scenario:
+            dataset = dataset.with_metadata(scenario=scenario)
+        result = CampaignResult(config, dataset=dataset, from_cache=True)
+        self._results[config.application] = result
+        return result
+
+    def adopt(
+        self, dataset: TimingDataset, application: Optional[str] = None
+    ) -> CampaignResult:
+        """Store an externally-executed dataset as this session's result.
+
+        Used by grouped campaign execution
+        (:meth:`~repro.scenarios.scenario.ScenarioMatrix.run` running several
+        compatible configs through one
+        :meth:`~repro.experiments.backends.CampaignTensorBackend.run_many`
+        tensor pass): the dataset is cached and registered exactly as if
+        :meth:`run` had produced it.
+        """
+        config = self.config_for(application)
+        result = CampaignResult(config, dataset=dataset)
+        cache_path = self._cache_path(config)
+        if cache_path is not None:
+            result.save(cache_path)
+        self._results[config.application] = result
+        return result
+
     def run(
         self, application: Optional[str] = None, *, use_cache: bool = True
     ) -> CampaignResult:
         """Run (or load from cache) one application's campaign."""
         config = self.config_for(application)
         backend = get_backend(config.backend)
+        if use_cache:
+            result = self.cached(application)
+            if result is not None:
+                return result
+        shards = self._executor().run(backend, config)
+        result = CampaignResult(
+            config, shards=shards, metadata=backend.metadata(config)
+        )
         cache_path = self._cache_path(config)
-        if cache_path is not None and use_cache and cache_path.exists():
-            from repro.io.dataset_io import load_dataset
-
-            dataset = load_dataset(cache_path)
-            # the cache key deliberately excludes the scenario label (it
-            # cannot change the samples), so a hit may carry the label of
-            # whichever scenario populated the entry — re-stamp it
-            scenario = getattr(config, "scenario", None)
-            if dataset.metadata.get("scenario") != scenario:
-                dataset = dataset.with_metadata(scenario=scenario)
-            result = CampaignResult(config, dataset=dataset, from_cache=True)
-        else:
-            shards = self._executor().run(backend, config)
-            result = CampaignResult(
-                config, shards=shards, metadata=backend.metadata(config)
-            )
-            if cache_path is not None:
-                result.save(cache_path)
+        if cache_path is not None:
+            result.save(cache_path)
         self._results[config.application] = result
         return result
 

@@ -109,6 +109,34 @@ def segment_sums_2d(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     return out
 
 
+def segment_sums_3d(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """:func:`segment_sums_2d` with a leading shard axis, in one ``reduceat``.
+
+    ``values`` has shape ``(n_shards, n_rows, n_values)`` — a whole
+    campaign's per-item costs at once; ``offsets`` addresses segments along
+    the last axis exactly as in :func:`segment_sums`, shared by every
+    (shard, row) plane.  Returns ``(n_shards, n_rows, n_segments)``.  Each
+    plane is summed left-to-right, so ``out[s]`` is bit-identical to
+    ``segment_sums_2d(values[s], offsets)`` — the property that keeps the
+    campaign backend's whole-tensor schedule fold bit-identical to the
+    per-shard batched kernels.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.diff(offsets)
+    if np.any(sizes < 0):
+        raise ValueError("offsets must be monotonically non-decreasing")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 3:
+        raise ValueError("values must be a 3-D tensor (shards x rows x items)")
+    out = np.zeros((arr.shape[0], arr.shape[1], len(sizes)), dtype=np.float64)
+    nonempty = sizes > 0
+    if nonempty.any():
+        out[:, :, nonempty] = np.add.reduceat(
+            arr[:, :, : offsets[-1]], offsets[:-1][nonempty], axis=2
+        )
+    return out
+
+
 @lru_cache(maxsize=1024)
 def _static_block_offsets(n_items: int, n_threads: int) -> np.ndarray:
     """Memoized boundaries of the chunk-less static split (read-only).
@@ -243,6 +271,24 @@ class LoopSchedule(ABC):
             busy[i] = self.simulate(arr[i], n_threads).busy_time
         return busy
 
+    def simulate_campaign(self, costs: np.ndarray, n_threads: int) -> np.ndarray:
+        """Per-thread busy time of a whole campaign's loop instances at once.
+
+        ``costs`` has shape ``(n_shards, n_instances, n_items)`` — one plane
+        per (trial, process) shard; the return value is the
+        ``(n_shards, n_instances, n_threads)`` busy-time tensor.  The base
+        implementation flattens the leading axes through
+        :meth:`simulate_batch` (a zero-copy view for contiguous input), so
+        one call folds the entire campaign — static clauses via one
+        closed-form ``reduceat``, dynamic/guided via one row-vectorised
+        work-queue replay over all ``n_shards * n_instances`` rows.  Every
+        plane is bit-identical to ``simulate_batch(costs[s], n_threads)``.
+        """
+        arr = self._validate_campaign(costs, n_threads)
+        n_shards, n_instances, n_items = arr.shape
+        flat = self.simulate_batch(arr.reshape(n_shards * n_instances, n_items), n_threads)
+        return flat.reshape(n_shards, n_instances, n_threads)
+
     def static_assignment(
         self, n_items: int, n_threads: int
     ) -> Optional[List[np.ndarray]]:
@@ -267,6 +313,19 @@ class LoopSchedule(ABC):
         if arr.ndim != 2:
             raise ValueError(
                 "batch costs must be a 2-D matrix (instances x loop items)"
+            )
+        if np.any(arr < 0):
+            raise ValueError("per-iteration costs must be non-negative")
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        return arr
+
+    @staticmethod
+    def _validate_campaign(costs: np.ndarray, n_threads: int) -> np.ndarray:
+        arr = np.asarray(costs, dtype=np.float64)
+        if arr.ndim != 3:
+            raise ValueError(
+                "campaign costs must be a 3-D tensor (shards x instances x items)"
             )
         if np.any(arr < 0):
             raise ValueError("per-iteration costs must be non-negative")
@@ -352,6 +411,18 @@ class StaticSchedule(LoopSchedule):
             chunk_sums,
         )
         return busy
+
+    def simulate_campaign(self, costs: np.ndarray, n_threads: int) -> np.ndarray:
+        """Whole-campaign closed form: the chunk-less split folds the full
+        ``(n_shards, n_instances, n_items)`` tensor through one
+        :func:`segment_sums_3d` without even the flattening view; the
+        round-robin clause reuses the 2-D scatter kernel on the flattened
+        rows (same adds in the same order, so planes stay bit-identical to
+        :meth:`simulate_batch`)."""
+        arr = self._validate_campaign(costs, n_threads)
+        if self.chunk is None:
+            return segment_sums_3d(arr, self._block_offsets(arr.shape[2], n_threads))
+        return super().simulate_campaign(arr, n_threads)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StaticSchedule(chunk={self.chunk})"

@@ -290,14 +290,43 @@ class ScenarioMatrix:
         backend, max_workers, dimension overrides) apply to every entry, so
         ``max_workers=8`` fans each campaign's shards across the parallel
         executor.
+
+        Entries resolving to the ``"campaign"`` backend that miss the result
+        cache are executed *together*: compatible configs (same application
+        geometry and schedule — see
+        :func:`~repro.experiments.backends.campaign_group_key`) share one
+        whole-campaign tensor pass through
+        :meth:`~repro.experiments.backends.CampaignTensorBackend.run_many`,
+        and each dataset is cached and registered with its session exactly
+        as a solo run would be (the samples are bit-identical either way).
         """
-        results: Dict[str, "CampaignResult"] = {}
-        for scenario in self.expand():
-            session = scenario.session(
+        from repro.experiments.backends import get_backend
+
+        scenarios = self.expand()
+        sessions = {
+            scenario.name: scenario.session(
                 scale, cache_dir=cache_dir, executor_mode=executor_mode, **overrides
             )
-            results[scenario.name] = session.run(use_cache=use_cache)
-        return results
+            for scenario in scenarios
+        }
+        results: Dict[str, "CampaignResult"] = {}
+        shared: List[Tuple[str, "CampaignSession"]] = []
+        for scenario in scenarios:
+            session = sessions[scenario.name]
+            if session.config.backend == "campaign":
+                result = session.cached() if use_cache else None
+                if result is not None:
+                    results[scenario.name] = result
+                else:
+                    shared.append((scenario.name, session))
+            else:
+                results[scenario.name] = session.run(use_cache=use_cache)
+        if shared:
+            backend = get_backend("campaign")
+            datasets = backend.run_many([session.config for _, session in shared])
+            for (name, session), dataset in zip(shared, datasets):
+                results[name] = session.adopt(dataset)
+        return {scenario.name: results[scenario.name] for scenario in scenarios}
 
 
 def run_scenarios(
@@ -372,6 +401,14 @@ _BUILTIN_SCENARIOS = (
         description="Dynamic schedule driven through the batched backend's "
         "row-vectorized work-queue kernel (CI smoke of the batched "
         "dynamic path)",
+    ),
+    Scenario(
+        name="manzano-campaign-batched",
+        schedule="dynamic,4",
+        backend="campaign",
+        description="Dynamic schedule driven through the whole-campaign "
+        "tensor backend (CI smoke of the campaign-level fold and its "
+        "chunked shard streaming)",
     ),
     Scenario(
         name="laptop-bursty",

@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.core.timing import TimingDataset
-from repro.experiments.backends import get_backend
+from repro.experiments.backends import campaign_group_key, get_backend
 from repro.experiments.config import CampaignConfig
 from repro.experiments.executor import ShardExecutor
 from repro.experiments.session import (
@@ -253,11 +253,38 @@ class CampaignService:
     # execution
     # ------------------------------------------------------------------
     async def _execute(self, job: Job) -> None:
-        """Worker-task handler: run one claimed job on the thread pool."""
+        """Worker-task handler: run one claimed job on the thread pool.
+
+        When the claimed job uses the ``"campaign"`` backend, every
+        *compatible* job still waiting in the queue (same
+        :func:`~repro.experiments.backends.campaign_group_key` — the
+        application geometry and schedule that let cost tensors concatenate)
+        is claimed along with it and the whole group executes as one
+        whole-campaign tensor pass
+        (:meth:`~repro.experiments.backends.CampaignTensorBackend.run_many`),
+        each job's samples bit-identical to a solo run.  The drain happens
+        on the event-loop thread before any await, so no worker can race
+        for the claimed peers.
+        """
         loop = asyncio.get_running_loop()
-        job._mark_running()
+        group = [job]
+        if job.config.backend == "campaign":
+            key = campaign_group_key(job.config)
+            group.extend(
+                self._scheduler.queue.drain_waiting(
+                    lambda other: other.state is JobState.QUEUED
+                    and not other.cancel_requested.is_set()
+                    and other.config.backend == "campaign"
+                    and campaign_group_key(other.config) == key
+                )
+            )
+        for member in group:
+            member._mark_running()
         assert self._pool is not None
-        await loop.run_in_executor(self._pool, self._produce, job, loop)
+        if len(group) == 1:
+            await loop.run_in_executor(self._pool, self._produce, job, loop)
+        else:
+            await loop.run_in_executor(self._pool, self._produce_group, group, loop)
 
     def _produce(self, job: Job, loop: asyncio.AbstractEventLoop) -> None:
         """Synchronous job body (worker thread).
@@ -325,6 +352,68 @@ class CampaignService:
             post(job._mark_cancelled)
         except BaseException as error:  # surfaced through handle.result()
             post(job._fail, error)
+
+    def _produce_group(self, jobs, loop: asyncio.AbstractEventLoop) -> None:
+        """Synchronous grouped job body (worker thread).
+
+        Cache-hit members are served individually (their entries may differ
+        — the group key ignores seeds and machines); the remaining members
+        run through **one**
+        :meth:`~repro.experiments.backends.CampaignTensorBackend.run_many`
+        tensor pass.  Each job's cancel flag is polled at the pass and
+        delivery boundaries; a failure of the shared pass fails every
+        not-yet-finished member.
+        """
+
+        def post(callback, *args) -> None:
+            loop.call_soon_threadsafe(callback, *args)
+
+        live = []
+        for job in jobs:
+            cache_path = campaign_cache_path(self.cache_dir, job.config)
+            if cache_path is not None and job.use_cache and cache_path.exists():
+                self._produce(job, loop)  # full cache-hit flow, per job
+            else:
+                live.append(job)
+        pending = []
+        for job in live:
+            if self.cache_dir is not None:
+                self._count("cache_misses")
+            if job.cancel_requested.is_set():
+                post(job._mark_cancelled)
+            else:
+                pending.append(job)
+        if not pending:
+            return
+        try:
+            backend = get_backend("campaign")
+            datasets = backend.run_many([job.config for job in pending])
+            for job, dataset in zip(pending, datasets):
+                if job.cancel_requested.is_set():
+                    post(job._mark_cancelled)
+                    continue
+                cache_path = campaign_cache_path(self.cache_dir, job.config)
+                if cache_path is not None:
+                    from repro.io.dataset_io import save_dataset
+
+                    save_dataset(dataset, cache_path)
+                result = CampaignResult(job.config, dataset=dataset)
+                shards = result.shards  # derived per trial, as on cache hits
+                post(setattr, job.progress, "shards_total", len(shards))
+                for shard in shards:
+                    post(job._deliver, shard)
+                post(
+                    functools.partial(
+                        job._finish,
+                        result,
+                        dataset_digest(dataset),
+                        from_cache=False,
+                    )
+                )
+        except BaseException as error:  # surfaced through handle.result()
+            for job in pending:
+                if not job.finished:
+                    post(job._fail, error)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

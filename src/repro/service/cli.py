@@ -95,6 +95,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="default campaign scale for submissions that omit one "
         "(default: smoke)",
     )
+    parser.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the bound port to this file once listening (with "
+        "--port 0 this is how scripts learn the ephemeral port; the CI "
+        "service smoke job reads it instead of hardcoding a port)",
+    )
     return parser
 
 
@@ -121,6 +130,13 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             f"cache {args.cache_dir or 'disabled'})",
             flush=True,
         )
+        # machine-readable bound-port line: with --port 0 the OS picks the
+        # port, and scripts (the CI service smoke job) parse it from here
+        # or from --port-file rather than assuming a fixed port is free
+        print(f"[repro-serve] port={server.port}", flush=True)
+        if args.port_file is not None:
+            args.port_file.parent.mkdir(parents=True, exist_ok=True)
+            args.port_file.write_text(f"{server.port}\n")
         assert server._server is not None
         await server._server.serve_forever()
 

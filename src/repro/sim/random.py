@@ -12,7 +12,8 @@ stream.  Streams are derived from a root seed with
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -105,3 +106,127 @@ class RandomStreams:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RandomStreams(seed={self.seed}, streams={len(self._cache)})"
+
+
+#: ``numpy.random.Generator`` drawing methods a :class:`PurposeSplitRNG`
+#: proxies.  Each (scope, method, occurrence) triple gets its own persistent
+#: generator, so the set only needs to cover what the simulation draws.
+_PROXIED_METHODS = frozenset(
+    {
+        "random",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "standard_exponential",
+        "poisson",
+        "pareto",
+        "lognormal",
+        "gamma",
+        "integers",
+        "choice",
+        "permutation",
+    }
+)
+
+
+class PurposeSplitRNG:
+    """A drop-in ``Generator`` facade that splits draws by *purpose*.
+
+    The whole-campaign tensor backend samples every (trial, process) shard
+    from one pass over (n_shards, n_iterations, n_threads) arrays — possibly
+    in several shard chunks to bound peak memory.  For chunked and unchunked
+    executions to be **bit-identical**, each logical draw site must consume
+    from its own generator, so that splitting a draw along the leading shard
+    axis merely continues the same element stream (``numpy`` generators draw
+    element-sequentially: a size-``k1`` draw followed by a size-``k2`` draw
+    equals one size-``k1+k2`` draw, and zero-size draws consume nothing).
+
+    Draw sites are identified by ``(scope path, method name, occurrence)``:
+
+    * :meth:`scope` pushes a name onto the scope stack (the backend scopes
+      stages like ``"costs"``/``"noise"``, the noise model scopes each
+      source index);
+    * every proxied method call is numbered *within* its scope by method
+      name, and the numbering resets each time the scope is re-entered —
+      so the second ``poisson`` of a source maps to the same stream on
+      every chunk.
+
+    The triple keys a persistent generator in the underlying
+    :class:`RandomStreams`, which survives across chunk boundaries.  This
+    makes any partition of the shard axis bit-identical to a single pass,
+    provided draw sites keep shards on the leading axis and execute in a
+    static order per scope entry (data-dependent *sizes* are fine; skipping
+    a draw entirely is only safe when the skipped draw would have consumed
+    zero elements).
+    """
+
+    def __init__(self, streams: RandomStreams, *scope) -> None:
+        #: the *underived* streams this facade was built from.  Draw sites
+        #: that must realize the exact same values as the per-shard backends
+        #: (e.g. per-process application state, whose realization feeds every
+        #: downstream cost draw) reach through this to the shared per-shard
+        #: streams instead of the purpose-split namespace.
+        self.root_streams = streams
+        self._streams = streams.derive(*scope) if scope else streams
+        self._scope: List[Tuple] = []
+        self._counts: List[Dict[str, int]] = [{}]
+
+    @contextmanager
+    def scope(self, *name):
+        """Enter a named draw scope (resets its occurrence numbering)."""
+        if not name:
+            raise ValueError("scope() requires at least one name component")
+        self._scope.append(tuple(name))
+        self._counts.append({})
+        try:
+            yield self
+        finally:
+            self._scope.pop()
+            self._counts.pop()
+
+    def generator(self, method: str) -> np.random.Generator:
+        """The persistent generator for ``method``'s next occurrence here."""
+        counts = self._counts[-1]
+        occurrence = counts.get(method, 0)
+        counts[method] = occurrence + 1
+        key: Tuple = ()
+        for part in self._scope:
+            key += part
+        return self._streams.get(*key, method, occurrence)
+
+    def __getattr__(self, name: str):
+        if name in _PROXIED_METHODS:
+
+            def draw(*args, _name=name, **kwargs):
+                return getattr(self.generator(_name), _name)(*args, **kwargs)
+
+            return draw
+        raise AttributeError(
+            f"{type(self).__name__} proxies only {sorted(_PROXIED_METHODS)}; "
+            f"{name!r} is not a supported drawing method"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PurposeSplitRNG(seed={self._streams.seed}, "
+            f"scope={[p for p in self._scope]})"
+        )
+
+
+@contextmanager
+def maybe_scope(rng, *name):
+    """``rng.scope(*name)`` when supported, else a no-op.
+
+    Lets shared draw sites (the noise model's per-source loop, the apps'
+    batch kernels) scope their draws under a :class:`PurposeSplitRNG`
+    without changing the byte-for-byte draw sequence of plain
+    ``numpy.random.Generator`` callers — existing backends keep their
+    pinned digests.
+    """
+    scope = getattr(rng, "scope", None)
+    if scope is None:
+        yield rng
+    else:
+        with scope(*name):
+            yield rng

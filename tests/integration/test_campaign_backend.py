@@ -1,0 +1,290 @@
+"""The whole-campaign tensor backend end-to-end.
+
+The campaign backend samples *all* (trial, process) shards as
+``(n_shards, n_iterations, n_threads)`` tensors — one schedule fold, one
+draw per noise source, one columnar assembly per shard chunk.  Its
+randomness is ordered shard-major across the whole campaign, so it is not
+bit-identical to ``"vectorized"`` or ``"batched"``; it pins its own
+reference digests here (distributional agreement with the vectorized path
+is property-tested in ``tests/property/test_prop_campaign.py``).  What this
+module pins exactly:
+
+* same seed → same arrays, for every ``chunk_shards`` value (the
+  purpose-split draw streams make chunked consumption a contiguous
+  continuation, so chunking can never move a digest);
+* grouped execution (``run_many``, the scenario-matrix sharing path, the
+  service's job grouping) → bit-identical to solo runs;
+* the executor runs the backend serially regardless of ``max_workers``
+  (``parallelizable = False``).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.instrument import RegionInstrumenter
+from repro.experiments.backends import (
+    CampaignTensorBackend,
+    available_backends,
+    campaign_group_key,
+    get_backend,
+)
+from repro.experiments.config import CampaignConfig
+from repro.experiments.executor import ShardExecutor
+from repro.experiments.session import CampaignSession
+from repro.scenarios import get_scenario
+from repro.scenarios.scenario import ScenarioMatrix
+
+# sha256 of the dense compute_times_s array of CampaignConfig.smoke(app)
+# (seed 7, 1 trial x 2 processes x 12 iterations x 16 threads) on the
+# campaign backend, recorded when the backend was introduced.
+CAMPAIGN_SMOKE_DIGESTS = {
+    "minife": "6723f4350105746d1037c687cc736131a250f7e574a846403a3086864d226e9f",
+    "minimd": "e9cf067470669c54b0099ce8c0aa487a90a06eab6dcfc86446ee4415744c2cdb",
+    "miniqmc": "9309f7e3d4b8470a568168aee2a07780736727da5ba787afe4e080d9db6ada22",
+}
+
+# Same smoke recipe under explicit work-queue schedule clauses (MiniFE is
+# the app whose 200-pencil loop makes the clause matter), recorded when the
+# backend was introduced.  The "dynamic,4" entry doubles as the digest of
+# the ``manzano-campaign-batched`` scenario at smoke scale.
+CAMPAIGN_SCHEDULE_SMOKE_DIGESTS = {
+    ("minife", "dynamic"): "9594dc8d9f45a6cc7666ae1d869442fd756a0f7a3894ff449ab5c7f39082eb73",
+    ("minife", "dynamic,4"): "75609f3ef9a227b5b3b2166b234cb1fac52eb22ad4d13f3e3e3f109a92105b71",
+    ("minife", "guided"): "6dfd35d0edd71c3246e2808b35dfc8517d921b3faeee39ca437cc313761ce443",
+}
+
+APPLICATIONS = sorted(CAMPAIGN_SMOKE_DIGESTS)
+
+
+def _digest(dataset) -> str:
+    blob = np.ascontiguousarray(dataset.compute_times_s, dtype=np.float64).tobytes()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _smoke(application: str, **overrides) -> CampaignConfig:
+    config = CampaignConfig.smoke(application).with_backend("campaign")
+    if overrides:
+        import dataclasses
+
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+class TestRegistration:
+    def test_campaign_backend_is_registered(self):
+        assert "campaign" in available_backends()
+        backend = get_backend("campaign")
+        assert backend.name == "campaign"
+        assert backend.parallelizable is False
+        assert backend.chunk_shards == CampaignTensorBackend.DEFAULT_CHUNK_SHARDS
+
+    def test_metadata_carries_backend_label(self):
+        meta = get_backend("campaign").metadata(_smoke("minife"))
+        assert meta["backend"] == "campaign"
+
+    def test_chunk_shards_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CampaignTensorBackend(chunk_shards=0)
+
+    def test_run_shard_is_not_a_unit_of_work(self):
+        backend = get_backend("campaign")
+        config = _smoke("minife")
+        spec = backend.shard_specs(config)[0]
+        with pytest.raises(NotImplementedError):
+            backend.run_shard(config, spec, None)
+
+
+class TestPinnedDigests:
+    @pytest.mark.parametrize("application", APPLICATIONS)
+    def test_campaign_matches_recorded_digest(self, application):
+        dataset = CampaignSession(_smoke(application)).run().dataset
+        assert _digest(dataset) == CAMPAIGN_SMOKE_DIGESTS[application]
+
+    @pytest.mark.parametrize(
+        "application, schedule", sorted(CAMPAIGN_SCHEDULE_SMOKE_DIGESTS)
+    )
+    def test_campaign_workqueue_matches_recorded_digest(self, application, schedule):
+        config = _smoke(application, schedule=schedule)
+        dataset = CampaignSession(config).run().dataset
+        assert _digest(dataset) == CAMPAIGN_SCHEDULE_SMOKE_DIGESTS[
+            (application, schedule)
+        ]
+
+    @pytest.mark.parametrize("application", APPLICATIONS)
+    def test_campaign_shape_matches_vectorized(self, application):
+        campaign = CampaignSession(_smoke(application)).run().dataset
+        vectorized = CampaignSession(CampaignConfig.smoke(application)).run().dataset
+        assert campaign.n_samples == vectorized.n_samples
+        assert campaign.is_dense()
+        for column in ("trial", "process", "iteration", "thread"):
+            assert np.array_equal(campaign.column(column), vectorized.column(column))
+
+    def test_scenario_pins_the_campaign_backend(self):
+        scenario = get_scenario("manzano-campaign-batched")
+        assert scenario.backend == "campaign"
+        assert scenario.schedule == "dynamic,4"
+        dataset = scenario.session(scale="smoke").run().dataset
+        assert _digest(dataset) == CAMPAIGN_SCHEDULE_SMOKE_DIGESTS[
+            ("minife", "dynamic,4")
+        ]
+
+
+class TestChunkInvariance:
+    @pytest.mark.parametrize("application", APPLICATIONS)
+    @pytest.mark.parametrize("chunk_shards", [1, 2, 3, 8])
+    def test_chunked_run_is_bit_identical(self, application, chunk_shards):
+        config = _smoke(application)
+        whole = get_backend("campaign").run(config)
+        chunked = CampaignTensorBackend(chunk_shards=chunk_shards).run(config)
+        for name in whole.columns:
+            assert np.array_equal(whole.column(name), chunked.column(name)), name
+
+    @pytest.mark.parametrize("chunk_shards", [1, 3])
+    def test_chunked_workqueue_run_is_bit_identical(self, chunk_shards):
+        config = _smoke("minife", schedule="dynamic,4")
+        whole = get_backend("campaign").run(config)
+        chunked = CampaignTensorBackend(chunk_shards=chunk_shards).run(config)
+        assert np.array_equal(whole.compute_times_s, chunked.compute_times_s)
+
+    def test_fast_run_matches_streamed_shards(self):
+        # run() assembles all chunks columnar-ly; iter_shards slices them
+        # into per-(trial, process) shards — same rows either way
+        from repro.core.timing import TimingDataset
+
+        config = _smoke("miniqmc")
+        backend = get_backend("campaign")
+        fast = backend.run(config)
+        merged = TimingDataset.merge(
+            backend.iter_shards(config), metadata=backend.metadata(config)
+        )
+        for name in fast.columns:
+            assert np.array_equal(fast.column(name), merged.column(name)), name
+        assert fast.metadata == merged.metadata
+
+
+class TestSerialExecution:
+    @pytest.mark.parametrize("max_workers", [2, 4])
+    def test_executor_forces_serial_for_campaign_backend(self, max_workers):
+        # parallelizable=False: the executor must not fan the campaign's
+        # shards across a pool (each worker would re-run the whole tensor
+        # pass); max_workers > 1 stays bit-identical to the serial run
+        serial = CampaignSession(_smoke("minife")).run().dataset
+        parallel = CampaignSession(
+            _smoke("minife", max_workers=max_workers), executor_mode="thread"
+        ).run(use_cache=False).dataset
+        assert np.array_equal(serial.compute_times_s, parallel.compute_times_s)
+
+    def test_executor_streams_per_process_shards(self):
+        config = _smoke("minimd", max_workers=4)
+        shards = list(ShardExecutor(mode="thread").iter_shards(
+            get_backend("campaign"), config
+        ))
+        assert [(s.trial, s.process) for s in shards] == [(0, 0), (0, 1)]
+
+
+class TestGroupedExecution:
+    def test_group_key_ignores_seed_and_machine(self):
+        a = _smoke("minife")
+        b = _smoke("minife", seed=99)
+        assert campaign_group_key(a) == campaign_group_key(b)
+        assert campaign_group_key(a) != campaign_group_key(_smoke("minimd"))
+        assert campaign_group_key(a) != campaign_group_key(
+            _smoke("minife", schedule="dynamic,4")
+        )
+
+    def test_run_many_is_bit_identical_to_solo_runs(self):
+        backend = get_backend("campaign")
+        configs = [
+            _smoke("minife"),
+            _smoke("minife", seed=99),
+            _smoke("minife", schedule="dynamic,4"),
+            _smoke("miniqmc"),
+        ]
+        grouped = backend.run_many(configs)
+        for config, dataset in zip(configs, grouped):
+            solo = backend.run(config)
+            for name in solo.columns:
+                assert np.array_equal(dataset.column(name), solo.column(name)), name
+
+    def test_scenario_matrix_shares_one_tensor_pass(self, monkeypatch):
+        # two compatible campaign-backend entries must reach the backend as
+        # ONE run_many call (sharing the fold), not one run() per session
+        calls = {"run_many": 0, "run": 0}
+        original_run_many = CampaignTensorBackend.run_many
+        original_run = CampaignTensorBackend.run
+
+        def counting_run_many(self, configs):
+            calls["run_many"] += 1
+            return original_run_many(self, configs)
+
+        def counting_run(self, config, streams=None):
+            calls["run"] += 1
+            return original_run(self, config, streams)
+
+        monkeypatch.setattr(CampaignTensorBackend, "run_many", counting_run_many)
+        monkeypatch.setattr(CampaignTensorBackend, "run", counting_run)
+        matrix = ScenarioMatrix(applications=("minife",), noises=(None, "heavy-tail"))
+        results = matrix.run(scale="smoke", backend="campaign")
+        assert calls["run_many"] == 1
+        assert calls["run"] == 0  # both entries shared the grouped pass
+        for scenario in matrix:
+            solo = scenario.session(scale="smoke", backend="campaign").run()
+            assert np.array_equal(
+                results[scenario.name].dataset.compute_times_s,
+                solo.dataset.compute_times_s,
+            )
+
+    def test_scenario_matrix_grouped_results_hit_the_cache(self, tmp_path):
+        matrix = ScenarioMatrix(applications=("minife",), noises=(None, "none"))
+        first = matrix.run(scale="smoke", backend="campaign", cache_dir=tmp_path)
+        assert not any(result.from_cache for result in first.values())
+        second = matrix.run(scale="smoke", backend="campaign", cache_dir=tmp_path)
+        assert all(result.from_cache for result in second.values())
+        for name in first:
+            assert np.array_equal(
+                first[name].dataset.compute_times_s,
+                second[name].dataset.compute_times_s,
+            )
+
+
+class TestRecordCampaign:
+    def test_record_campaign_matches_per_shard_record_block(self):
+        rng = np.random.default_rng(5)
+        times = np.abs(rng.normal(25e-3, 1e-3, size=(3, 7, 5)))
+        shards = [(0, 0), (0, 1), (1, 0)]
+        tensor = RegionInstrumenter(region="r", application="a")
+        tensor.record_campaign(shards=shards, compute_times_s=times)
+        blockwise = RegionInstrumenter(region="r", application="a")
+        for (trial, process), plane in zip(shards, times):
+            blockwise.record_block(
+                trial=trial, process=process, compute_times_s=plane
+            )
+        a, b = tensor.dataset(), blockwise.dataset()
+        assert a.columns == b.columns
+        for name in a.columns:
+            assert np.array_equal(a.column(name), b.column(name)), name
+
+    def test_record_campaign_rejects_bad_input(self):
+        instrumenter = RegionInstrumenter()
+        with pytest.raises(ValueError):
+            instrumenter.record_campaign(
+                shards=[(0, 0)], compute_times_s=np.ones((2, 2))
+            )
+        with pytest.raises(ValueError):
+            instrumenter.record_campaign(
+                shards=[(0, 0)], compute_times_s=np.ones((2, 2, 2))
+            )
+        with pytest.raises(ValueError):
+            instrumenter.record_campaign(
+                shards=[(0, 0)], compute_times_s=-np.ones((1, 2, 2))
+            )
+
+    def test_recorded_values_are_decoupled_from_the_input_buffer(self):
+        buffer = np.full((1, 2, 3), 1e-3)
+        instrumenter = RegionInstrumenter()
+        instrumenter.record_campaign(shards=[(0, 0)], compute_times_s=buffer)
+        buffer[:] = 9.0
+        recorded = instrumenter.dataset().column("compute_time_s")
+        np.testing.assert_array_equal(recorded, np.full(6, 1e-3))
