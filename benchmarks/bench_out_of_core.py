@@ -1,0 +1,127 @@
+"""Out-of-core shard store: peak RSS and throughput vs campaign scale.
+
+Each measurement runs in a subprocess (``_out_of_core_child.py``) so its
+``ru_maxrss`` is exactly one campaign's high-water mark, then reports:
+
+* ``peak_rss_mb`` — the head-line number: spilled campaigns hold ~one
+  shard-store group in memory regardless of campaign size, while the
+  in-memory path grows linearly with the sample count;
+* ``samples_per_second`` and the streamed sha256 ``digest`` — equal digests
+  between modes prove the spill path is bit-identical to in-memory.
+
+Scales are multiples of a ~50 k-sample base campaign on the trials axis
+(1x / 10x / 100x — the 100x campaign is ~5 M samples, the same growth
+factor the paper's campaign would need for 100x more trials).
+
+Two CI guards ride along (run without ``--benchmark-only`` in the guard
+step): the 100x spilled campaign must stay inside ``MEMORY_BUDGET_MB``,
+and at 1x the spill path must stay within 2x of in-memory throughput while
+matching its digest bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+#: base campaign (trials=BASE_TRIALS): 4 x 2 x 130 x 48 = 49 920 samples
+BASE_TRIALS = 4
+SCALE_FACTORS = (1, 10, 100)
+#: hard ceiling for the 100x spilled campaign's peak RSS; the interpreter
+#: plus numpy alone cost ~80 MB, the measured spill path ~90 MB, while the
+#: in-memory 100x campaign needs ~650 MB
+MEMORY_BUDGET_MB = 256
+#: the spill path may cost at most this slowdown factor at 1x
+THROUGHPUT_FACTOR = 2.0
+
+_CHILD = Path(__file__).with_name("_out_of_core_child.py")
+
+
+@lru_cache(maxsize=None)
+def _measure(mode: str, factor: int) -> dict:
+    """Run one child measurement (cached per process: guards reuse bench runs)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    output = subprocess.run(
+        [
+            sys.executable,
+            str(_CHILD),
+            "--mode",
+            mode,
+            "--trials",
+            str(BASE_TRIALS * factor),
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+        env=env,
+    ).stdout
+    return json.loads(output)
+
+
+def _record(benchmark, mode: str, factor: int) -> dict:
+    result = benchmark.pedantic(
+        _measure, args=(mode, factor), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "mode": mode,
+            "scale_factor": factor,
+            "samples": result["samples"],
+            "samples_per_second": result["samples_per_second"],
+            "peak_rss_mb": result["peak_rss_mb"],
+        }
+    )
+    return result
+
+
+@pytest.mark.benchmark(group="out-of-core")
+@pytest.mark.parametrize("factor", SCALE_FACTORS)
+def test_out_of_core_scaling(benchmark, factor):
+    """Spilled campaigns at growing scale: peak RSS must stay ~flat."""
+    result = _record(benchmark, "ooc", factor)
+    assert result["samples"] == BASE_TRIALS * factor * 2 * 130 * 48
+    assert result["peak_rss_mb"] < MEMORY_BUDGET_MB
+
+
+@pytest.mark.benchmark(group="out-of-core")
+@pytest.mark.parametrize("factor", (1, 100))
+def test_in_memory_baseline(benchmark, factor):
+    """The in-memory path at 1x (throughput baseline) and 100x (RSS contrast)."""
+    result = _record(benchmark, "memory", factor)
+    assert result["digest"] == _measure("ooc", factor)["digest"]
+
+
+# ----------------------------------------------------------------------
+# CI guards (also run standalone, without --benchmark-only)
+# ----------------------------------------------------------------------
+def test_out_of_core_memory_guard():
+    """100x campaign through the shard store stays inside the RAM budget."""
+    result = _measure("ooc", 100)
+    assert result["peak_rss_mb"] < MEMORY_BUDGET_MB, (
+        f"100x spilled campaign peaked at {result['peak_rss_mb']:.0f} MB "
+        f"(budget {MEMORY_BUDGET_MB} MB)"
+    )
+
+
+def test_out_of_core_throughput_guard():
+    """At 1x the spill path is bit-identical and within 2x of in-memory."""
+    spilled = _measure("ooc", 1)
+    in_memory = _measure("memory", 1)
+    assert spilled["digest"] == in_memory["digest"], (
+        "spilled campaign is not bit-identical to the in-memory run"
+    )
+    floor = in_memory["samples_per_second"] / THROUGHPUT_FACTOR
+    assert spilled["samples_per_second"] >= floor, (
+        f"spill path too slow: {spilled['samples_per_second']:,.0f} samples/s "
+        f"vs in-memory {in_memory['samples_per_second']:,.0f} "
+        f"(floor {floor:,.0f})"
+    )

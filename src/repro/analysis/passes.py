@@ -50,7 +50,7 @@ from repro.core.timing import TimingShard
 from repro.stats.battery import TEST_NAMES, NormalityBattery
 from repro.stats.histogram import FixedWidthHistogram
 from repro.stats.percentiles import DEFAULT_PERCENTILES, PercentileSeries, percentile_table
-from repro.stats.sketch import PercentileSketch
+from repro.stats.sketch import BoundedTopK, PercentileSketch
 from repro.stats.streaming import StreamingHistogram, StreamingMoments
 
 #: default bounded-mode sketch capacity (per accumulator)
@@ -329,7 +329,10 @@ class LaggardsResult:
     running-moment approximations otherwise.  ``analysis`` carries the full
     per-group :class:`~repro.core.laggard.LaggardAnalysis` in exact mode
     (``None`` in bounded mode, which keeps memory independent of campaign
-    size).
+    size).  In bounded mode, ``candidates`` carries one
+    :class:`~repro.stats.sketch.BoundedTopK` pool of ``(gap, key)``
+    exemplar candidates per iteration class, so :meth:`exemplar` — the
+    selection behind Figures 5/7/9 — still answers with bounded memory.
     """
 
     n_groups: int
@@ -343,10 +346,28 @@ class LaggardsResult:
     max_iqr_s: float
     mean_median_s: float
     analysis: Optional[LaggardAnalysis] = None
+    candidates: Optional[Dict[str, "BoundedTopK"]] = None
 
     @property
     def laggard_fraction(self) -> float:
         return self.laggard_count / self.n_groups if self.n_groups else 0.0
+
+    def exemplar(self, iteration_class: IterationClass) -> Optional[Tuple[int, ...]]:
+        """Key of the most typical group of a class (median gap within class).
+
+        Exact mode delegates to the per-group analysis (bit-identical to the
+        dense path); bounded mode answers from the class's candidate pool —
+        the retained candidate whose gap is closest to the pool's median, at
+        most one quantile spacing away from the exact choice.
+        """
+        if self.analysis is not None:
+            return self.analysis.exemplar(iteration_class)
+        if not self.candidates:
+            return None
+        pool = self.candidates.get(iteration_class.value)
+        if pool is None or len(pool) == 0:
+            return None
+        return pool.nearest(float(pool.quantile(50.0)))
 
     def class_fraction(self, iteration_class: IterationClass) -> float:
         if not self.n_groups:
@@ -380,15 +401,21 @@ class LaggardsPass(AnalysisPass):
 
     title = "laggard fractions and iteration classes (§4.2, Figures 5/7)"
 
+    #: bounded-mode exemplar candidates retained per iteration class
+    DEFAULT_CANDIDATE_CAPACITY = 256
+
     def __init__(
         self,
         threshold_s: float = DEFAULT_LAGGARD_THRESHOLD_S,
         wide_iqr_s: float = DEFAULT_WIDE_IQR_S,
+        *,
+        candidate_capacity: int = DEFAULT_CANDIDATE_CAPACITY,
     ) -> None:
         if threshold_s <= 0:
             raise ValueError("threshold_s must be positive")
         self.threshold_s = float(threshold_s)
         self.wide_iqr_s = float(wide_iqr_s)
+        self.candidate_capacity = int(candidate_capacity)
 
     def prepare(self, context: AnalysisContext) -> Dict[str, Any]:
         return {
@@ -399,6 +426,11 @@ class LaggardsPass(AnalysisPass):
             "gap": StreamingMoments(),
             "iqr": StreamingMoments(),
             "median": StreamingMoments(),
+            # bounded mode only: per-class (gap, key) exemplar candidates
+            "candidates": {
+                cls.value: BoundedTopK(self.candidate_capacity)
+                for cls in IterationClass
+            },
         }
 
     def accumulate(self, state, shard: TimingShard, context: AnalysisContext):
@@ -420,10 +452,19 @@ class LaggardsPass(AnalysisPass):
                 )
             )
         else:
-            # bounded mode: running moments instead of per-group segments
+            # bounded mode: running moments instead of per-group segments,
+            # plus a bounded pool of exemplar candidates per class so the
+            # figure generators can still pick representative groups
             state["gap"].update(gap)
             state["iqr"].update(iqr)
             state["median"].update(median)
+            keys = [tuple(int(part) for part in key) for key in grouped.keys]
+            for cls in IterationClass:
+                mask = [c is cls for c in classes]
+                if any(mask):
+                    state["candidates"][cls.value].update(
+                        gap[mask], [k for k, m in zip(keys, mask) if m]
+                    )
         return state
 
     def merge(self, state, other):
@@ -434,6 +475,8 @@ class LaggardsPass(AnalysisPass):
             state["class_counts"][name] += count
         for key in ("gap", "iqr", "median"):
             state[key] = state[key].merge(other[key])
+        for name, pool in other["candidates"].items():
+            state["candidates"][name] = state["candidates"][name].merge(pool)
         return state
 
     def finalize(self, state, context: AnalysisContext) -> LaggardsResult:
@@ -480,6 +523,7 @@ class LaggardsPass(AnalysisPass):
             max_iqr_s=max_iqr,
             mean_median_s=mean_median,
             analysis=analysis,
+            candidates=None if analysis is not None else dict(state["candidates"]),
         )
 
 

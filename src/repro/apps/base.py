@@ -55,7 +55,8 @@ class ProxyApplication(ABC):
     region: str = "compute"
     #: whether the app's campaign hooks draw whole shard-major tensors
     #: (``True`` for all built-ins); ``False`` routes the ``"campaign"``
-    #: backend through the generic per-shard fallback, which is correct for
+    #: backend through the generic campaign-kernel fallback — per-shard
+    #: cost draws, whole-campaign schedule fold — which is correct for
     #: any third-party application that only implements the per-shard API
     campaign_tensor: bool = False
 
@@ -304,21 +305,73 @@ class ProxyApplication(ABC):
             raise ValueError("n_iterations must be >= 1")
         shards = [(int(trial), int(process)) for trial, process in shards]
         if not self.campaign_tensor:
-            out = np.empty(
-                (len(shards), n_iter, self.config.n_threads), dtype=np.float64
-            )
-            for index, (trial, process) in enumerate(shards):
-                with maybe_scope(rng, "shard", trial, process):
-                    self.begin_process(process, rng)
-                    out[index] = self.thread_compute_times_batch(
-                        process=process, rng=rng, noise=noise, n_iterations=n_iter
-                    )
-            return out
+            return self._campaign_fallback(shards, n_iter, rng, noise)
         with maybe_scope(rng, "state"):
             self.begin_campaign(shards, rng)
         with maybe_scope(rng, "costs"):
             base = self.base_thread_times_campaign(shards, n_iter, rng)
         return self.finalize_campaign_times(base, shards, n_iter, rng, noise)
+
+    def _campaign_fallback(
+        self,
+        shards: Sequence[tuple],
+        n_iterations: int,
+        rng: np.random.Generator,
+        noise: Optional[OSNoiseModel],
+    ) -> np.ndarray:
+        """Generic 3-D campaign kernel for apps without tensor overrides.
+
+        Only the *draws* remain per shard: each shard's process state, cost
+        matrix and application delays are gathered under its absolute
+        ``("shard", trial, process)`` scope (so any chunking of the shard
+        axis replays identical draws), then the stacked
+        ``(n_shards, n_iterations, n_items)`` cost tensor folds through the
+        schedule's whole-campaign kernel and jitter/OS noise apply as
+        single whole-tensor passes under purpose scopes — the same shape of
+        work the tensor applications get, without any 3-D overrides.
+        Versus running :meth:`thread_compute_times_batch` shard by shard
+        the samples agree in distribution (the jitter/noise draw order
+        differs), and the schedule fold itself is bit-identical per plane.
+        Shards whose item counts differ (rare heterogeneous apps) fall back
+        to per-plane ``simulate_batch`` folds — same kernels, same draws.
+        """
+        costs = []
+        extras = []
+        for trial, process in shards:
+            with maybe_scope(rng, "shard", trial, process):
+                self.begin_process(process, rng)
+                costs.append(self.item_costs_batch(process, n_iterations, rng))
+                extras.append(
+                    self.application_delays_batch(process, n_iterations, rng)
+                )
+        extra = np.stack(extras)
+        if len({plane.shape for plane in costs}) == 1:
+            base = self.config.schedule.simulate_campaign(
+                np.stack(costs), self.config.n_threads
+            )
+        else:  # ragged item counts across shards: per-plane batch folds
+            base = np.stack(
+                [
+                    self.config.schedule.simulate_batch(plane, self.config.n_threads)
+                    for plane in costs
+                ]
+            )
+        if extra.shape != base.shape:
+            raise ValueError(
+                "application_delays_batch must return one value per "
+                "(iteration, thread)"
+            )
+        times = base + extra
+        if noise is not None:
+            if noise.spec.enabled and noise.spec.jitter_fraction > 0:
+                with maybe_scope(rng, "jitter"):
+                    jitter = rng.normal(
+                        1.0, noise.spec.jitter_fraction, size=times.shape
+                    )
+                times = times * np.clip(jitter, 0.5, None)
+            with maybe_scope(rng, "noise"):
+                times = times + noise.batch_delays(times, rng)
+        return times
 
     # ------------------------------------------------------------------
     # sampling (vectorised campaign path)

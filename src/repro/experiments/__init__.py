@@ -32,7 +32,13 @@ from repro.experiments.campaign import quick_campaign, run_all_campaigns, run_ca
 from repro.experiments.config import CampaignConfig
 from repro.experiments.executor import ShardExecutor
 from repro.experiments.paper import PAPER_REFERENCE
-from repro.experiments.session import CampaignResult, CampaignSession, config_cache_key
+from repro.experiments.session import (
+    CampaignResult,
+    CampaignSession,
+    campaign_cache_path,
+    campaign_store_path,
+    config_cache_key,
+)
 from repro.experiments.tables import section4_metrics_table, table1
 
 __all__ = [
@@ -46,6 +52,8 @@ __all__ = [
     "get_backend",
     "available_backends",
     "config_cache_key",
+    "campaign_cache_path",
+    "campaign_store_path",
     "run_campaign",
     "run_all_campaigns",
     "quick_campaign",

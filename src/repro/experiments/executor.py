@@ -35,6 +35,7 @@ from repro.sim.random import RandomStreams
 if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.experiments.backends import CampaignBackend, ShardSpec
     from repro.experiments.config import CampaignConfig
+    from repro.io.shard_store import ShardStore
 
 _MODES = ("process", "thread")
 
@@ -165,6 +166,7 @@ class ShardExecutor:
         config: "CampaignConfig",
         *,
         on_shard: Optional[Callable[[TimingShard], None]] = None,
+        store: Optional["ShardStore"] = None,
     ) -> Iterator[TimingShard]:
         """Yield the campaign's shards in serial (trial-major) order.
 
@@ -180,8 +182,17 @@ class ShardExecutor:
         immediately before it is yielded — a convenience for driving
         callbacks from consumers like :meth:`run` / :meth:`run_merged` that
         would otherwise swallow the iterator.
+
+        ``store`` (a :class:`~repro.io.shard_store.ShardStore`) receives
+        every shard via ``append`` the moment it arrives — the out-of-core
+        spill path: with the campaign tensor backend each ``chunk_shards``
+        block lands in the store as the chunk completes, so nothing ever
+        accumulates a shard list.  The consumer still sees every shard;
+        :meth:`run_to_store` is the variant that swallows the iterator.
         """
         for _, shard in self._iter_mapped(backend, config, None):
+            if store is not None:
+                store.append(shard)
             if on_shard is not None:
                 on_shard(shard)
             yield shard
@@ -214,6 +225,26 @@ class ShardExecutor:
         the campaign finishes — see :meth:`iter_shards`.
         """
         return list(self.iter_shards(backend, config, on_shard=on_shard))
+
+    def run_to_store(
+        self,
+        backend: "CampaignBackend",
+        config: "CampaignConfig",
+        store: "ShardStore",
+        *,
+        on_shard: Optional[Callable[[TimingShard], None]] = None,
+    ) -> "ShardStore":
+        """Spill the whole campaign into ``store`` with bounded memory.
+
+        Drives :meth:`iter_shards` appending each shard as it arrives and
+        drops it immediately — peak memory is the executor's in-flight
+        window plus the store's spill buffer, independent of campaign size.
+        Returns the (flushed, not yet finalized) store.
+        """
+        for _ in self.iter_shards(backend, config, on_shard=on_shard, store=store):
+            pass
+        store.flush()
+        return store
 
     def run_merged(
         self,

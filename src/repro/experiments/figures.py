@@ -106,34 +106,60 @@ def figure2_potential_overlap(
 # ----------------------------------------------------------------------
 # source plumbing: datasets and streaming results interchangeably
 # ----------------------------------------------------------------------
-def _laggard_analysis(source: FigureSource) -> LaggardAnalysis:
-    """The per-group laggard analysis behind Figures 5/7/9's exemplars."""
+def _laggards_product(source: FigureSource):
+    """The laggard product behind Figures 5/7/9's exemplars.
+
+    Returns a :class:`~repro.core.laggard.LaggardAnalysis` (dense datasets,
+    or exact-mode streaming results) — or the sketch-mode
+    :class:`~repro.analysis.passes.LaggardsResult`, whose bounded candidate
+    pools still answer ``laggard_fraction`` and ``exemplar`` queries.
+    """
     if isinstance(source, AnalysisResults):
-        analysis = source["laggards"].analysis
-        if analysis is None:
-            raise ValueError(
-                "the streaming laggards product carries no per-group analysis "
-                "(sketch mode?); re-run the 'laggards' pass in exact mode to "
-                "generate exemplar figures"
-            )
-        return analysis
+        product = source["laggards"]
+        if product.analysis is not None:
+            return product.analysis
+        return product
     return ThreadTimingAnalyzer(source).laggards()
 
 
-def _group_samples(
-    shards: Sequence[TimingShard], key: Tuple[int, int, int]
-) -> np.ndarray:
+def _laggard_analysis(source: FigureSource) -> LaggardAnalysis:
+    """The per-group laggard analysis behind Figures 5/7/9's exemplars."""
+    laggards = _laggards_product(source)
+    if isinstance(laggards, LaggardAnalysis):
+        return laggards
+    raise ValueError(
+        "the streaming laggards product carries no per-group analysis "
+        "(sketch mode?); re-run the 'laggards' pass in exact mode to "
+        "generate exemplar figures"
+    )
+
+
+def _group_samples(shards, key: Tuple[int, int, int]) -> np.ndarray:
     """One process-iteration's samples scanned straight out of the shards.
 
     Shard segments are concatenated in serial (trial-major) order —
     the dense path's row order — and histogram binning is order-independent
     anyway, so figures built from this match the merged-dataset path bit for
-    bit.  Works for both per-(trial, process) executor shards and the
-    per-trial shards a cache hit derives.
+    bit.  Works for per-(trial, process) executor shards, the per-trial
+    shards a cache hit derives, and anything exposing ``iter_shards()`` —
+    a :class:`~repro.io.shard_store.ShardStore` or a store-backed
+    :class:`~repro.experiments.session.CampaignResult` — which is streamed
+    in its own (already serial) order with only the matched samples copied
+    out, so each group's memory mappings are released as the scan advances.
     """
     trial, process, iteration = (int(part) for part in key)
+    if hasattr(shards, "iter_shards"):
+        iterator = shards.iter_shards()
+    else:
+        iterator = iter(sorted(shards, key=lambda s: s.sort_key))
     parts = []
-    for shard in sorted(shards, key=lambda s: s.sort_key):
+    for shard in iterator:
+        # a shard's address narrows the scan: skip other trials/processes
+        # without touching their column data at all
+        if int(shard.trial) != trial:
+            continue
+        if shard.process is not None and int(shard.process) != process:
+            continue
         columns = shard.columns
         mask = (
             (np.asarray(columns["trial"]) == trial)
@@ -141,7 +167,9 @@ def _group_samples(
             & (np.asarray(columns["iteration"]) == iteration)
         )
         if np.any(mask):
-            parts.append(np.asarray(columns["compute_time_s"])[mask])
+            # copy: the matched values must outlive the shard's (possibly
+            # memory-mapped) backing arrays
+            parts.append(np.array(columns["compute_time_s"])[mask])
     if not parts:
         raise KeyError(f"no samples for process-iteration {key} in the shards")
     return np.concatenate(parts)
@@ -242,9 +270,12 @@ def figure5_minife_classes(
     """Figure 5: MiniFE no-laggard vs laggard example histograms (50 µs bins).
 
     From streaming results, pass the campaign's ``shards`` so the exemplar
-    histograms can be binned without a merged dataset.
+    histograms can be binned without a merged dataset.  Sketch-mode results
+    answer from the laggards pass's bounded candidate pools — exemplars are
+    then approximate (within one candidate-pool quantile spacing) but the
+    fractions stay exact.
     """
-    laggards = _laggard_analysis(source)
+    laggards = _laggards_product(source)
     bin_width = FIGURE_PARAMETERS["figure5"]["bin_width_s"]
     payload: Dict[str, object] = {
         "laggard_fraction": laggards.laggard_fraction,
@@ -270,31 +301,68 @@ def figure7_minimd_classes(
     *,
     shards: Optional[Sequence[TimingShard]] = None,
 ) -> FigureData:
-    """Figure 7: MiniMD initial / no-laggard / laggard example histograms."""
+    """Figure 7: MiniMD initial / no-laggard / laggard example histograms.
+
+    Sketch-mode streaming results lack the dense per-group arrays: the
+    warm-up/steady split is then approximated from the laggards pass's
+    bounded candidate pools (keys filtered by iteration) and the steady
+    laggard fraction by the campaign-wide laggard fraction — an exact tally
+    that differs from the steady-only fraction just by the warm-up share.
+    """
     wide_bin = FIGURE_PARAMETERS["figure7a"]["bin_width_s"]
     tight_bin = FIGURE_PARAMETERS["figure7bc"]["bin_width_s"]
-    laggards = _laggard_analysis(source)
+    laggards = _laggards_product(source)
 
-    # (a) initial behaviour: any process-iteration from the warm-up phase
-    warmup_keys = [key for key in laggards.keys if key[-1] < warmup_iterations]
+    if isinstance(laggards, LaggardAnalysis):
+        # (a) initial behaviour: any process-iteration from the warm-up phase
+        warmup_keys = [key for key in laggards.keys if key[-1] < warmup_iterations]
+
+        # (b)/(c): post-warm-up laggard statistics
+        steady_indices = [
+            i for i, key in enumerate(laggards.keys) if key[-1] >= warmup_iterations
+        ]
+        steady_has_laggard = laggards.has_laggard[steady_indices]
+        steady_fraction = (
+            float(np.mean(steady_has_laggard)) if steady_indices else 0.0
+        )
+
+        def steady_exemplar(want_laggard: bool):
+            candidates = [
+                laggards.keys[i]
+                for i in steady_indices
+                if bool(laggards.has_laggard[i]) == want_laggard
+            ]
+            return candidates[len(candidates) // 2] if candidates else None
+
+    else:  # sketch mode: answer from the bounded candidate pools
+        pools = laggards.candidates or {}
+        pooled_keys = [key for pool in pools.values() for key in pool.keys]
+        warmup_keys = sorted(
+            key for key in pooled_keys if key[-1] < warmup_iterations
+        )
+        steady_fraction = laggards.laggard_fraction
+
+        def steady_exemplar(want_laggard: bool):
+            names = (
+                (IterationClass.LAGGARD.value, IterationClass.WIDE.value)
+                if want_laggard
+                else (IterationClass.NO_LAGGARD.value,)
+            )
+            candidates = sorted(
+                key
+                for name in names
+                for pool in (pools.get(name),)
+                if pool is not None
+                for key in pool.keys
+                if key[-1] >= warmup_iterations
+            )
+            return candidates[len(candidates) // 2] if candidates else None
+
     initial_hist = (
         _group_histogram(source, warmup_keys[len(warmup_keys) // 2], wide_bin, shards)
         if warmup_keys
         else None
     )
-
-    # (b)/(c): post-warm-up laggard statistics
-    steady_indices = [i for i, key in enumerate(laggards.keys) if key[-1] >= warmup_iterations]
-    steady_has_laggard = laggards.has_laggard[steady_indices]
-    steady_fraction = float(np.mean(steady_has_laggard)) if steady_indices else 0.0
-
-    def steady_exemplar(want_laggard: bool):
-        candidates = [
-            laggards.keys[i]
-            for i in steady_indices
-            if bool(laggards.has_laggard[i]) == want_laggard
-        ]
-        return candidates[len(candidates) // 2] if candidates else None
 
     payload: Dict[str, object] = {
         "initial_histogram": initial_hist,
@@ -323,8 +391,18 @@ def figure9_miniqmc_histogram(
 ) -> FigureData:
     """Figure 9: a representative MiniQMC process-iteration histogram (1 ms bins)."""
     bin_width = FIGURE_PARAMETERS["figure9"]["bin_width_s"]
-    laggards = _laggard_analysis(source)
-    key = laggards.exemplar(IterationClass.WIDE) or laggards.keys[len(laggards.keys) // 2]
+    laggards = _laggards_product(source)
+    key = laggards.exemplar(IterationClass.WIDE)
+    if key is None:
+        if isinstance(laggards, LaggardAnalysis):
+            key = laggards.keys[len(laggards.keys) // 2]
+        else:  # sketch mode: fall back to any class's exemplar
+            for cls in IterationClass:
+                key = laggards.exemplar(cls)
+                if key is not None:
+                    break
+    if key is None:
+        raise ValueError("no exemplar candidates available for figure 9")
     histogram = _group_histogram(source, key, bin_width, shards)
     return FigureData(
         figure_id="figure9",

@@ -21,6 +21,18 @@ pass products land in ``analyses_<app>.json``::
 
     python -m repro --analyses percentiles laggards reclaimable normality
     python -m repro --list-analyses --porcelain
+
+``--out-of-core`` runs the whole pipeline against the spillable shard store
+(:mod:`repro.io.shard_store`): shards flush to disk as they are produced,
+analyses use the bounded-memory sketch accumulators, and the figure
+generators stream memory-mapped views — a campaign far larger than RAM
+completes within a fixed budget::
+
+    python -m repro --scale paper --trials 1000 --out-of-core --spill-mb 256
+
+``cache`` manages the shared cache tier (``--stats`` / ``--prune``)::
+
+    python -m repro cache --cache-dir results/cache --stats
 """
 
 from __future__ import annotations
@@ -122,6 +134,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="cache campaign datasets here, keyed by a config hash",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="cache-tier size budget in MiB; least-recently-used entries "
+        "are evicted over budget (default: $REPRO_CACHE_MAX_BYTES)",
+    )
+    parser.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="spill campaign shards to an on-disk store as they are "
+        "produced and stream every analysis/figure from memory-mapped "
+        "views (bounded RAM; implies sketch-mode analyses)",
+    )
+    parser.add_argument(
+        "--spill-mb",
+        type=float,
+        default=256.0,
+        metavar="MB",
+        help="with --out-of-core: in-memory shard buffer bound before a "
+        "group spills to disk (default: 256)",
     )
     parser.add_argument(
         "--scenario",
@@ -386,6 +421,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         dispatch = serve_main if arguments[0] == "serve" else submit_main
         return dispatch(arguments[1:])
+    if arguments and arguments[0] == "cache":
+        from repro.io.cache_tier import main as cache_main
+
+        return cache_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
     if (
@@ -410,6 +449,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         applications = args.apps or ["minife", "minimd", "miniqmc"]
     output: Path = args.output
     output.mkdir(parents=True, exist_ok=True)
+    if args.out_of_core:
+        if args.save_datasets:
+            parser.error(
+                "--save-datasets conflicts with --out-of-core (materialising "
+                "the merged dataset defeats the bounded-RAM contract)"
+            )
+        if args.cache_dir is None:
+            # the spilled stores need a home; keep them with the results
+            args.cache_dir = output / "cache"
     if args.analyses is not None:
         if args.save_datasets:
             # the streaming engine never materialises the datasets the flag
@@ -438,10 +486,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"({config.backend} backend{workers})",
             flush=True,
         )
-        session = CampaignSession(config, cache_dir=args.cache_dir)
-        result = session.run()
-        products[application] = session.analyze(application, analyses="all")
-        shards_by_app[application] = result.shards
+        cache_max_bytes = (
+            int(args.cache_max_mb * 2**20) if args.cache_max_mb is not None else None
+        )
+        session = CampaignSession(
+            config, cache_dir=args.cache_dir, cache_max_bytes=cache_max_bytes
+        )
+        if args.out_of_core:
+            # shards spill to the store as they arrive; analyses run the
+            # bounded-memory sketches (exact accumulators buffer samples);
+            # figures stream mmap views straight off the store
+            result = session.run(
+                store=True,
+                spill_threshold_bytes=max(1, int(args.spill_mb * 2**20)),
+            )
+            products[application] = session.analyze(
+                application, analyses="all", exact=False
+            )
+            shards_by_app[application] = result.store
+        else:
+            result = session.run()
+            products[application] = session.analyze(application, analyses="all")
+            shards_by_app[application] = result.shards
         elapsed = time.perf_counter() - started
         origin = " (cached)" if result.from_cache else ""
         print(
@@ -457,14 +523,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     export_rows_csv(table_rows, output / "table1.csv")
     metric_rows = section4_metrics_table(products)
     export_rows_csv(metric_rows, output / "section4_metrics.csv")
-    normality_rows = section41_normality_table(products)
-    export_rows_csv(normality_rows, output / "section41_normality.csv")
     report_lines.append("=== Table 1: process-iteration normality pass rates ===")
     report_lines.append(ascii_table(table_rows))
     report_lines.append("\n=== Section 4.2 scalar metrics (paper vs measured) ===")
     report_lines.append(ascii_table(metric_rows))
-    report_lines.append("\n=== Section 4.1 coarse-level normality ===")
-    report_lines.append(ascii_table(normality_rows))
+    if args.out_of_core:
+        # the coarse-level table needs per-iteration pass counts, which the
+        # sketch-mode normality accumulator does not retain
+        report_lines.append(
+            "\n=== Section 4.1 coarse-level normality: skipped "
+            "(--out-of-core runs sketch-mode analyses) ==="
+        )
+    else:
+        normality_rows = section41_normality_table(products)
+        export_rows_csv(normality_rows, output / "section41_normality.csv")
+        report_lines.append("\n=== Section 4.1 coarse-level normality ===")
+        report_lines.append(ascii_table(normality_rows))
     if "minimd" in products:
         phase_rows = minimd_phase_table(products["minimd"])
         export_rows_csv(phase_rows, output / "minimd_phases.csv")

@@ -39,6 +39,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -60,6 +61,8 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.analysis import AnalysisPass, AnalysisResults
     from repro.core.report import FeasibilityReport
     from repro.experiments.config import CampaignConfig
+    from repro.io.cache_tier import CacheTier
+    from repro.io.shard_store import ShardStore
 
 
 def config_cache_key(config: "CampaignConfig") -> str:
@@ -99,13 +102,32 @@ def campaign_cache_path(
     return cache_dir / f"campaign_{config.application}_{config_cache_key(config)}.npz"
 
 
+def campaign_store_path(
+    cache_dir: Optional[Path], config: "CampaignConfig"
+) -> Optional[Path]:
+    """The spilled shard-store directory for ``config`` under ``cache_dir``.
+
+    The out-of-core sibling of :func:`campaign_cache_path`, keyed by the
+    same sample-determining hash so a stored campaign and a dense cached
+    one describe the same data.
+    """
+    if cache_dir is None:
+        return None
+    return cache_dir / f"shards_{config.application}_{config_cache_key(config)}.store"
+
+
 class CampaignResult:
     """Outcome of one application's campaign, merged on demand.
 
-    Holds either the shards the executor produced (fresh run) or an
-    already-merged dataset (cache hit).  Iterating yields the shards;
-    :attr:`dataset` merges them — once — into the dense
-    :class:`~repro.core.timing.TimingDataset` every analysis consumes.
+    Holds the shards the executor produced (fresh run), an already-merged
+    dataset (cache hit), or a spilled
+    :class:`~repro.io.shard_store.ShardStore` (out-of-core run).  Iterating
+    yields the shards; :attr:`dataset` merges them — once — into the dense
+    :class:`~repro.core.timing.TimingDataset` every in-memory analysis
+    consumes.  Store-backed results keep nothing dense resident:
+    :meth:`iter_shards` streams memory-mapped views group by group, and
+    :attr:`n_samples` / :attr:`metadata` come straight from the store's
+    manifest.
     """
 
     def __init__(
@@ -114,13 +136,17 @@ class CampaignResult:
         *,
         shards: Optional[Sequence[TimingShard]] = None,
         dataset: Optional[TimingDataset] = None,
+        store: Optional["ShardStore"] = None,
         metadata: Optional[Dict[str, object]] = None,
         from_cache: bool = False,
     ) -> None:
-        if shards is None and dataset is None:
-            raise ValueError("a result needs shards or an already-merged dataset")
+        if shards is None and dataset is None and store is None:
+            raise ValueError(
+                "a result needs shards, an already-merged dataset, or a store"
+            )
         self.config = config
         self.from_cache = from_cache
+        self.store = store
         self._shards: Optional[Tuple[TimingShard, ...]] = (
             tuple(shards) if shards is not None else None
         )
@@ -135,25 +161,55 @@ class CampaignResult:
 
     @property
     def shards(self) -> Tuple[TimingShard, ...]:
-        """The campaign's shards (derived from the dataset on cache hits)."""
+        """The campaign's shards (derived from the dataset on cache hits).
+
+        Store-backed results materialise the full shard tuple here (the
+        views stay memory-mapped, but holding them keeps the whole store
+        mapped) — memory-bounded consumers should prefer
+        :meth:`iter_shards`.
+        """
         if self._shards is None:
-            dataset = self.dataset
-            self._shards = tuple(
-                TimingShard.from_dataset(
-                    dataset.select(trial=int(trial)), trial=int(trial), process=None
+            if self.store is not None:
+                self._shards = tuple(self.store.iter_shards())
+            else:
+                dataset = self.dataset
+                self._shards = tuple(
+                    TimingShard.from_dataset(
+                        dataset.select(trial=int(trial)), trial=int(trial), process=None
+                    )
+                    for trial in dataset.trials
                 )
-                for trial in dataset.trials
-            )
         return self._shards
 
-    def __iter__(self) -> Iterator[TimingShard]:
+    def iter_shards(self) -> Iterator[TimingShard]:
+        """Stream the campaign's shards with a bounded working set.
+
+        Store-backed results stream zero-copy mmap views one group at a
+        time; in-memory results just iterate what they hold.  This is the
+        iteration every out-of-core consumer (analysis engine, figure
+        generators) should use.
+        """
+        if self._shards is not None:
+            return iter(self._shards)
+        if self.store is not None:
+            return self.store.iter_shards()
         return iter(self.shards)
+
+    def __iter__(self) -> Iterator[TimingShard]:
+        return self.iter_shards()
 
     @property
     def dataset(self) -> TimingDataset:
         """The dense timing dataset (shards merged on first access)."""
         if self._dataset is None:
-            self._dataset = TimingDataset.merge(self._shards, metadata=self._metadata)
+            if self._shards is not None:
+                self._dataset = TimingDataset.merge(
+                    self._shards, metadata=self._metadata
+                )
+            else:
+                self._dataset = TimingDataset.merge(
+                    self.store.iter_shards(), metadata=self.metadata
+                )
         return self._dataset
 
     @property
@@ -163,10 +219,14 @@ class CampaignResult:
             return dict(self._metadata)
         if self._dataset is not None:
             return dict(self._dataset.metadata)
+        if self.store is not None:
+            return self.store.metadata
         return {}
 
     @property
     def n_samples(self) -> int:
+        if self._dataset is None and self.store is not None:
+            return self.store.n_samples
         return self.dataset.n_samples
 
     # ------------------------------------------------------------------
@@ -205,6 +265,11 @@ class CampaignSession:
     cache_dir:
         Directory for config-hash-keyed ``.npz`` result caching; ``None``
         (default) disables caching.
+    cache_max_bytes:
+        Size budget of the cache tier: every write is admitted through a
+        :class:`~repro.io.cache_tier.CacheTier` that LRU-evicts entries over
+        budget.  ``None`` defers to ``$REPRO_CACHE_MAX_BYTES`` and, failing
+        that, leaves the tier unbounded.
     executor_mode:
         Worker-pool flavour for ``max_workers > 1``: ``"process"`` (default)
         or ``"thread"``.
@@ -215,11 +280,17 @@ class CampaignSession:
         config: "CampaignConfig",
         *,
         cache_dir: Optional[Union[str, Path]] = None,
+        cache_max_bytes: Optional[int] = None,
         executor_mode: str = "process",
     ) -> None:
         self.config = config
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.executor_mode = executor_mode
+        self.cache_tier: Optional["CacheTier"] = None
+        if self.cache_dir is not None:
+            from repro.io.cache_tier import CacheTier
+
+            self.cache_tier = CacheTier(self.cache_dir, max_bytes=cache_max_bytes)
         self._results: Dict[str, CampaignResult] = {}
         #: finalized-pass-product cache counters (only ticked when a
         #: ``cache_dir`` is configured; see :meth:`analyze`)
@@ -243,6 +314,14 @@ class CampaignSession:
 
     def _cache_path(self, config: "CampaignConfig") -> Optional[Path]:
         return campaign_cache_path(self.cache_dir, config)
+
+    def _store_path(self, config: "CampaignConfig") -> Optional[Path]:
+        return campaign_store_path(self.cache_dir, config)
+
+    def _admit(self, path: Optional[Path]) -> None:
+        """Register a fresh cache write with the tier (evicting over budget)."""
+        if self.cache_tier is not None and path is not None:
+            self.cache_tier.admit(path)
 
     def _executor(self) -> ShardExecutor:
         return ShardExecutor(mode=self.executor_mode)
@@ -363,8 +442,16 @@ class CampaignSession:
         import pickle
 
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("wb") as handle:
-            pickle.dump(product, handle)
+        # temp + replace like every other cache write: a crashed writer
+        # cannot leave a truncated pickle at the final path
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(product, handle)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._admit(path)
 
     # ------------------------------------------------------------------
     # execution
@@ -378,11 +465,15 @@ class CampaignSession:
         """
         config = self.config_for(application)
         cache_path = self._cache_path(config)
-        if cache_path is None or not cache_path.exists():
+        if cache_path is None:
             return None
-        from repro.io.dataset_io import load_dataset
+        from repro.io.dataset_io import try_load_dataset
 
-        dataset = load_dataset(cache_path)
+        dataset = try_load_dataset(cache_path)
+        if dataset is None:  # missing — or corrupt, removed for recompute
+            return None
+        if self.cache_tier is not None:
+            self.cache_tier.touch(cache_path)
         # the cache key deliberately excludes the scenario label (it
         # cannot change the samples), so a hit may carry the label of
         # whichever scenario populated the entry — re-stamp it
@@ -390,6 +481,35 @@ class CampaignSession:
         if dataset.metadata.get("scenario") != scenario:
             dataset = dataset.with_metadata(scenario=scenario)
         result = CampaignResult(config, dataset=dataset, from_cache=True)
+        self._results[config.application] = result
+        return result
+
+    def cached_store(
+        self, application: Optional[str] = None
+    ) -> Optional[CampaignResult]:
+        """Reopen a previously spilled, finalized shard store as a result.
+
+        The out-of-core sibling of :meth:`cached`: returns a store-backed
+        :class:`CampaignResult` when a complete store directory exists for
+        the configuration, ``None`` otherwise.
+        """
+        config = self.config_for(application)
+        store_path = self._store_path(config)
+        if store_path is None:
+            return None
+        from repro.io.shard_store import MANIFEST_NAME, ShardStore
+
+        if not (store_path / MANIFEST_NAME).exists():
+            return None
+        try:
+            store = ShardStore.open(store_path)
+            if not store.complete:
+                return None  # an interrupted writer's leftovers; rebuild
+        except Exception:
+            return None
+        if self.cache_tier is not None:
+            self.cache_tier.touch(store_path)
+        result = CampaignResult(config, store=store, from_cache=True)
         self._results[config.application] = result
         return result
 
@@ -410,26 +530,133 @@ class CampaignSession:
         cache_path = self._cache_path(config)
         if cache_path is not None:
             result.save(cache_path)
+            self._admit(cache_path)
         self._results[config.application] = result
         return result
 
     def run(
-        self, application: Optional[str] = None, *, use_cache: bool = True
+        self,
+        application: Optional[str] = None,
+        *,
+        use_cache: bool = True,
+        store: Union[None, bool, str, Path, "ShardStore"] = None,
+        spill_threshold_bytes: Optional[int] = None,
     ) -> CampaignResult:
-        """Run (or load from cache) one application's campaign."""
+        """Run (or load from cache) one application's campaign.
+
+        ``store`` selects the out-of-core spill path: shards land in a
+        :class:`~repro.io.shard_store.ShardStore` as the executor produces
+        them instead of accumulating in memory, and the returned result is
+        store-backed (stream it with
+        :meth:`CampaignResult.iter_shards`).
+
+        * ``None`` (default) — in-memory run with the usual ``.npz`` cache.
+        * ``True`` — auto-managed store under ``cache_dir`` (required):
+          built in a sibling temp directory, finalized, then atomically
+          published and admitted to the cache tier; with ``use_cache`` an
+          existing complete store is reopened instead of re-running.
+        * a path — explicit store directory (complete stores are reused
+          under ``use_cache``, anything else is rebuilt in place).
+        * a :class:`~repro.io.shard_store.ShardStore` — caller-managed;
+          shards are appended and the store finalized, nothing published.
+
+        ``spill_threshold_bytes`` bounds the store's in-memory buffer (the
+        RAM-budget knob); ``None`` keeps the store default.
+        """
         config = self.config_for(application)
         backend = get_backend(config.backend)
-        if use_cache:
-            result = self.cached(application)
-            if result is not None:
-                return result
-        shards = self._executor().run(backend, config)
-        result = CampaignResult(
-            config, shards=shards, metadata=backend.metadata(config)
+        if store is None:
+            if use_cache:
+                result = self.cached(application)
+                if result is not None:
+                    return result
+            shards = self._executor().run(backend, config)
+            result = CampaignResult(
+                config, shards=shards, metadata=backend.metadata(config)
+            )
+            cache_path = self._cache_path(config)
+            if cache_path is not None:
+                result.save(cache_path)
+                self._admit(cache_path)
+            self._results[config.application] = result
+            return result
+        return self._run_to_store(
+            config,
+            backend,
+            store,
+            use_cache=use_cache,
+            spill_threshold_bytes=spill_threshold_bytes,
         )
-        cache_path = self._cache_path(config)
-        if cache_path is not None:
-            result.save(cache_path)
+
+    def _run_to_store(
+        self,
+        config: "CampaignConfig",
+        backend: CampaignBackend,
+        store: Union[bool, str, Path, "ShardStore"],
+        *,
+        use_cache: bool,
+        spill_threshold_bytes: Optional[int],
+    ) -> CampaignResult:
+        """The out-of-core arm of :meth:`run` (see its ``store`` docs)."""
+        from repro.io.shard_store import (
+            DEFAULT_SPILL_THRESHOLD_BYTES,
+            ShardStore,
+            publish_store,
+        )
+
+        threshold = (
+            DEFAULT_SPILL_THRESHOLD_BYTES
+            if spill_threshold_bytes is None
+            else int(spill_threshold_bytes)
+        )
+        metadata = backend.metadata(config)
+
+        if isinstance(store, ShardStore):
+            # caller-managed store: fill, finalize, wrap
+            self._executor().run_to_store(backend, config, store)
+            store.finalize(metadata)
+            result = CampaignResult(config, store=store)
+            self._results[config.application] = result
+            return result
+
+        if store is True:
+            final = self._store_path(config)
+            if final is None:
+                raise ValueError(
+                    "run(store=True) needs a cache_dir to place the store under"
+                )
+        else:
+            final = Path(store)
+
+        if use_cache:
+            try:
+                existing = ShardStore.open(final)
+                if existing.complete:
+                    if self.cache_tier is not None:
+                        self.cache_tier.touch(final)
+                    result = CampaignResult(config, store=existing, from_cache=True)
+                    self._results[config.application] = result
+                    return result
+            except Exception:
+                pass  # missing or unreadable — rebuild below
+
+        # build in a sibling temp directory and publish atomically, so a
+        # concurrent reader never sees a partially-built store and a race
+        # between two writers resolves to one winner
+        import shutil
+
+        staged_path = final.with_name(f"{final.name}.tmp-{os.getpid()}")
+        shutil.rmtree(staged_path, ignore_errors=True)
+        try:
+            staged = ShardStore.create(staged_path, spill_threshold_bytes=threshold)
+            self._executor().run_to_store(backend, config, staged)
+            staged.finalize(metadata)
+            shutil.rmtree(final, ignore_errors=True)
+            publish_store(staged_path, final)
+        finally:
+            shutil.rmtree(staged_path, ignore_errors=True)
+        self._admit(final)
+        result = CampaignResult(config, store=ShardStore.open(final))
         self._results[config.application] = result
         return result
 
@@ -540,7 +767,9 @@ class CampaignSession:
                     context = AnalysisContext.from_config(
                         config, exact=exact, metadata=result.metadata
                     )
-                    fresh = run_analyses(result.shards, missing, context)
+                    # iter_shards streams (store-backed results never
+                    # materialise the shard tuple here)
+                    fresh = run_analyses(result.iter_shards(), missing, context)
                 else:
                     backend = get_backend(config.backend)
                     fresh = run_campaign_analyses(

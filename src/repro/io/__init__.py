@@ -1,20 +1,39 @@
-"""Dataset and shard persistence (NumPy ``.npz`` + JSON metadata, CSV export)."""
+"""Dataset and shard persistence.
 
+NumPy ``.npz`` + JSON metadata round-trips (:mod:`repro.io.dataset_io`,
+always written atomically), CSV export, the spillable memory-mapped
+:class:`~repro.io.shard_store.ShardStore` for out-of-core campaigns, and
+the size-bounded LRU :class:`~repro.io.cache_tier.CacheTier` managing the
+shared cache directory.
+"""
+
+from repro.io.cache_tier import CacheTier
 from repro.io.dataset_io import (
     dataset_to_csv,
     load_dataset,
     load_shards,
     save_dataset,
     save_shards,
+    try_load_dataset,
 )
 from repro.io.schema import DATASET_FORMAT_VERSION, validate_columns
+from repro.io.shard_store import (
+    DEFAULT_SPILL_THRESHOLD_BYTES,
+    ShardStore,
+    publish_store,
+)
 
 __all__ = [
     "save_dataset",
     "load_dataset",
+    "try_load_dataset",
     "save_shards",
     "load_shards",
     "dataset_to_csv",
     "DATASET_FORMAT_VERSION",
     "validate_columns",
+    "ShardStore",
+    "publish_store",
+    "DEFAULT_SPILL_THRESHOLD_BYTES",
+    "CacheTier",
 ]

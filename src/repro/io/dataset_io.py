@@ -12,8 +12,9 @@ prefixed columns and a shard index, via :func:`save_shards` /
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -23,8 +24,31 @@ from repro.io.schema import DATASET_FORMAT_VERSION, OPTIONAL_COLUMNS, REQUIRED_C
 PathLike = Union[str, Path]
 
 
+def _atomic_savez(target: Path, payload: dict) -> None:
+    """Write an ``.npz`` via a sibling temp file + :func:`os.replace`.
+
+    Shared-cache safety: a writer crashing mid-write leaves only a
+    ``*.tmp-<pid>`` sibling (swept by the cache tier once stale), never a
+    truncated archive at the final path — concurrent readers either see the
+    old complete file or the new complete file.
+    """
+    tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+    try:
+        # savez_compressed on a file *object*: passing the tmp path would
+        # make numpy append another .npz suffix
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def save_dataset(dataset: TimingDataset, path: PathLike) -> Path:
-    """Write ``dataset`` to ``path`` (``.npz`` appended if absent)."""
+    """Write ``dataset`` to ``path`` (``.npz`` appended if absent).
+
+    The write is atomic (temp file + rename), so a crashed writer cannot
+    poison shared cache entries with a truncated archive.
+    """
     target = Path(path)
     if target.suffix != ".npz":
         target = target.with_suffix(".npz")
@@ -37,7 +61,7 @@ def save_dataset(dataset: TimingDataset, path: PathLike) -> Path:
             {"format_version": DATASET_FORMAT_VERSION, "metadata": dataset.metadata}
         )
     )
-    np.savez_compressed(target, **payload)
+    _atomic_savez(target, payload)
     return target
 
 
@@ -61,6 +85,27 @@ def load_dataset(path: PathLike) -> TimingDataset:
             metadata = decoded.get("metadata", {})
     validate_columns(columns)
     return TimingDataset(columns, metadata)
+
+
+def try_load_dataset(path: PathLike) -> Optional[TimingDataset]:
+    """Corruption-tolerant :func:`load_dataset` for cache entries.
+
+    Returns ``None`` when the entry is missing — or unreadable: a truncated
+    archive a pre-atomic-write crash left behind, a bad zip, a format-version
+    mismatch.  Unreadable entries are removed so they cannot poison later
+    cache hits; the caller simply recomputes and overwrites.
+    """
+    source = Path(path)
+    if not source.exists():
+        return None
+    try:
+        return load_dataset(source)
+    except Exception:
+        try:
+            source.unlink()
+        except OSError:
+            pass
+        return None
 
 
 def save_shards(shards: Sequence[TimingShard], path: PathLike) -> Path:
@@ -93,7 +138,7 @@ def save_shards(shards: Sequence[TimingShard], path: PathLike) -> Path:
     payload["__shards__"] = np.array(
         json.dumps({"format_version": DATASET_FORMAT_VERSION, "shards": index})
     )
-    np.savez_compressed(target, **payload)
+    _atomic_savez(target, payload)
     return target
 
 

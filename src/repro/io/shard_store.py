@@ -1,0 +1,450 @@
+"""The spillable, memory-mapped campaign shard store.
+
+:class:`ShardStore` is the out-of-core backbone of the campaign layer: a
+columnar on-disk format that lets a campaign far larger than RAM stream
+through execution, analysis passes and the figure generators with only a
+bounded working set resident.
+
+Layout — one *directory* per store::
+
+    campaign.store/
+        manifest.json        # format version, metadata, group index
+        group-00000.bin      # raw little-endian column blobs of group 0
+        group-00001.bin      # ...
+
+``append(shard)`` buffers shards in memory until their column bytes exceed
+:attr:`~ShardStore.spill_threshold_bytes`, then flushes them as one *group
+file*: per column, the group's shard arrays concatenated into a single raw
+blob (16-byte magic header, then column blobs back to back).  The manifest
+records every group's shard addresses (``trial``/``process``/sample count)
+and per-column ``dtype``/``offset``, so reading needs no file parsing at
+all — ``iter_shards()`` opens one ``np.memmap`` per column per group and
+slices **zero-copy views** out of it, one :class:`~repro.core.timing.TimingShard`
+at a time.  Because the views chain back to the group's mappings, advancing
+the iterator releases each group's pages as soon as its last shard is
+dropped: a full-store scan keeps roughly one group resident, which is what
+bounds the peak RSS of an out-of-core campaign.
+
+Durability and sharing:
+
+* group files and the manifest are written to a sibling ``*.tmp-<pid>`` and
+  published with :func:`os.replace`, so a crashed writer can never leave a
+  half-written group visible — readers only ever see a consistent manifest;
+* ``iter_shards()`` on a read-only store re-reads the manifest per call
+  (snapshot semantics: iteration sees every group flushed before the call
+  and is unaffected by concurrent ``append``/``flush``);
+* round-trips are **bit-identical**: columns are stored as raw bytes of the
+  arrays that were appended, so a stored-and-reloaded campaign merges into
+  the same dataset — and the same digest — as the in-memory run (pinned in
+  the test suite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.timing import TimingDataset, TimingShard
+from repro.io.schema import validate_columns
+
+PathLike = Union[str, Path]
+
+#: on-disk format version of the store directory (manifest + group files)
+STORE_FORMAT_VERSION = 1
+
+#: group files start with this magic; column offsets account for it
+GROUP_MAGIC = b"REPRO-SHARD-GRP1"
+
+#: default in-memory buffer bound before shards spill to a group file (64 MiB)
+DEFAULT_SPILL_THRESHOLD_BYTES = 64 * 1024 * 1024
+
+MANIFEST_NAME = "manifest.json"
+
+_MODES = ("w", "a", "r")
+
+
+def _shard_nbytes(shard: TimingShard) -> int:
+    return int(sum(np.asarray(values).nbytes for values in shard.columns.values()))
+
+
+class ShardStore:
+    """Columnar spill-to-disk store of campaign shards.
+
+    Parameters
+    ----------
+    path:
+        Store directory (created for writable modes).
+    mode:
+        ``"w"`` starts a fresh store (fails if one already exists at
+        ``path``), ``"a"`` opens-or-creates for appending, ``"r"`` opens an
+        existing store read-only.
+    spill_threshold_bytes:
+        In-memory buffer bound: ``append`` flushes the buffered shards into
+        a new group file once their column bytes reach this threshold.
+        This is the RAM-budget knob of an out-of-core campaign — together
+        with group-at-a-time reads it caps the store's working set at
+        roughly one group on each side.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        mode: str = "a",
+        spill_threshold_bytes: int = DEFAULT_SPILL_THRESHOLD_BYTES,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if spill_threshold_bytes < 1:
+            raise ValueError("spill_threshold_bytes must be >= 1")
+        self.path = Path(path)
+        self.mode = mode
+        self.spill_threshold_bytes = int(spill_threshold_bytes)
+        self._buffer: List[TimingShard] = []
+        self._buffered_bytes = 0
+        manifest_path = self.path / MANIFEST_NAME
+        if mode == "r":
+            if not manifest_path.exists():
+                raise FileNotFoundError(f"no shard store at {self.path}")
+            self._manifest = self._read_manifest()
+        elif mode == "w":
+            if manifest_path.exists():
+                raise FileExistsError(f"shard store already exists at {self.path}")
+            self.path.mkdir(parents=True, exist_ok=True)
+            self._manifest = self._empty_manifest()
+            self._write_manifest()
+        else:  # append
+            self.path.mkdir(parents=True, exist_ok=True)
+            self._manifest = (
+                self._read_manifest()
+                if manifest_path.exists()
+                else self._empty_manifest()
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: PathLike,
+        *,
+        spill_threshold_bytes: int = DEFAULT_SPILL_THRESHOLD_BYTES,
+    ) -> "ShardStore":
+        """Start a fresh store at ``path`` (must not already exist)."""
+        return cls(path, mode="w", spill_threshold_bytes=spill_threshold_bytes)
+
+    @classmethod
+    def open(cls, path: PathLike) -> "ShardStore":
+        """Open an existing store read-only."""
+        return cls(path, mode="r")
+
+    # ------------------------------------------------------------------
+    # manifest plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _empty_manifest() -> Dict[str, object]:
+        return {
+            "format_version": STORE_FORMAT_VERSION,
+            "complete": False,
+            "metadata": {},
+            "total_samples": 0,
+            "groups": [],
+        }
+
+    def _read_manifest(self) -> Dict[str, object]:
+        manifest = json.loads((self.path / MANIFEST_NAME).read_text())
+        version = manifest.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported shard-store format version {version!r} "
+                f"(expected {STORE_FORMAT_VERSION})"
+            )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        # tmp + replace: readers never observe a torn manifest
+        tmp = self.path / f"{MANIFEST_NAME}.tmp-{os.getpid()}"
+        try:
+            tmp.write_text(json.dumps(self._manifest, sort_keys=True))
+            os.replace(tmp, self.path / MANIFEST_NAME)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _check_writable(self) -> None:
+        if self.mode == "r":
+            raise ValueError("store is read-only")
+        if self._manifest["complete"]:
+            raise ValueError("store is finalized; no further appends allowed")
+
+    def append(self, shard: TimingShard) -> None:
+        """Buffer one shard, spilling a group once the threshold is hit."""
+        self._check_writable()
+        validate_columns(dict(shard.columns))
+        self._buffer.append(shard)
+        self._buffered_bytes += _shard_nbytes(shard)
+        if self._buffered_bytes >= self.spill_threshold_bytes:
+            self.flush()
+
+    def extend(self, shards: Sequence[TimingShard]) -> None:
+        """Append several shards (e.g. one campaign-backend chunk)."""
+        for shard in shards:
+            self.append(shard)
+
+    def flush(self) -> None:
+        """Spill the buffered shards into a new on-disk group (if any)."""
+        if self.mode == "r":
+            raise ValueError("store is read-only")
+        if not self._buffer:
+            return
+        groups: List[dict] = self._manifest["groups"]  # type: ignore[assignment]
+        file_name = f"group-{len(groups):05d}.bin"
+        # column order is fixed per group: sorted names, every shard's array
+        # for a column concatenated into one raw blob
+        names = sorted(self._buffer[0].columns)
+        for shard in self._buffer[1:]:
+            if sorted(shard.columns) != names:
+                raise ValueError(
+                    "all shards in a store must share the same column set; "
+                    f"expected {names}, got {sorted(shard.columns)}"
+                )
+        columns_meta = []
+        shards_meta = [
+            {
+                "trial": int(shard.trial),
+                "process": None if shard.process is None else int(shard.process),
+                "n_samples": int(shard.n_samples),
+            }
+            for shard in self._buffer
+        ]
+        tmp = self.path / f"{file_name}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(GROUP_MAGIC)
+                offset = len(GROUP_MAGIC)
+                for name in names:
+                    parts = [
+                        np.ascontiguousarray(np.asarray(shard.columns[name]))
+                        for shard in self._buffer
+                    ]
+                    dtype = parts[0].dtype
+                    for part in parts[1:]:
+                        if part.dtype != dtype:
+                            raise ValueError(
+                                f"column {name!r} mixes dtypes across shards "
+                                f"({dtype} vs {part.dtype})"
+                            )
+                    nbytes = 0
+                    for part in parts:
+                        part.tofile(handle)
+                        nbytes += part.nbytes
+                    columns_meta.append(
+                        {"name": name, "dtype": dtype.str, "offset": offset}
+                    )
+                    offset += nbytes
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path / file_name)
+        finally:
+            tmp.unlink(missing_ok=True)
+        groups.append(
+            {
+                "file": file_name,
+                "n_samples": int(sum(s["n_samples"] for s in shards_meta)),
+                "shards": shards_meta,
+                "columns": columns_meta,
+            }
+        )
+        self._manifest["total_samples"] = int(
+            self._manifest["total_samples"]  # type: ignore[operator]
+        ) + sum(s["n_samples"] for s in shards_meta)
+        self._buffer = []
+        self._buffered_bytes = 0
+        self._write_manifest()
+
+    def finalize(self, metadata: Optional[Dict[str, object]] = None) -> "ShardStore":
+        """Flush, stamp ``metadata`` and mark the store complete."""
+        self._check_writable()
+        self.flush()
+        if metadata is not None:
+            merged = dict(self._manifest.get("metadata") or {})
+            merged.update(metadata)
+            self._manifest["metadata"] = merged
+        self._manifest["complete"] = True
+        self._write_manifest()
+        return self
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def _iter_group(self, group: dict) -> Iterator[TimingShard]:
+        path = self.path / group["file"]
+        length = int(group["n_samples"])
+        with open(path, "rb") as handle:
+            if handle.read(len(GROUP_MAGIC)) != GROUP_MAGIC:
+                raise ValueError(f"{path} is not a shard-store group file")
+            arrays = {
+                column["name"]: np.memmap(
+                    handle,
+                    dtype=np.dtype(column["dtype"]),
+                    mode="r",
+                    offset=int(column["offset"]),
+                    shape=(length,),
+                )
+                for column in group["columns"]
+            }
+        start = 0
+        for entry in group["shards"]:
+            stop = start + int(entry["n_samples"])
+            yield TimingShard(
+                trial=int(entry["trial"]),
+                process=(
+                    None if entry["process"] is None else int(entry["process"])
+                ),
+                columns={
+                    name: array[start:stop] for name, array in arrays.items()
+                },
+            )
+            start = stop
+
+    def iter_shards(self) -> Iterator[TimingShard]:
+        """Stream every stored shard as zero-copy memory-mapped views.
+
+        Writable stores flush their buffer first, so the iteration always
+        covers everything appended so far and every yielded shard is a mmap
+        view.  Read-only stores re-read the manifest, snapshotting whatever
+        groups a concurrent writer has published by now; groups appearing
+        later are picked up by the next ``iter_shards()`` call.  Each
+        group's mappings are released as the consumer advances past it —
+        hold on to all yielded shards and the whole store stays mapped;
+        stream them and roughly one group is resident at a time.
+        """
+        if self.mode == "r":
+            manifest = self._read_manifest()
+            self._manifest = manifest
+        else:
+            self.flush()
+            manifest = self._manifest
+        for group in list(manifest["groups"]):  # type: ignore[index]
+            yield from self._iter_group(group)
+
+    def __iter__(self) -> Iterator[TimingShard]:
+        return self.iter_shards()
+
+    def dataset(
+        self, metadata: Optional[Dict[str, object]] = None
+    ) -> TimingDataset:
+        """Merge the stored shards into a dense dataset (materialises!)."""
+        merged_metadata = dict(self.metadata)
+        if metadata is not None:
+            merged_metadata.update(metadata)
+        return TimingDataset.merge(self.iter_shards(), metadata=merged_metadata)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """Whether :meth:`finalize` ran (the campaign fully landed)."""
+        if self.mode == "r":
+            self._manifest = self._read_manifest()
+        return bool(self._manifest["complete"])
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        return dict(self._manifest.get("metadata") or {})
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._manifest["groups"])  # type: ignore[arg-type]
+
+    @property
+    def n_shards(self) -> int:
+        stored = sum(
+            len(group["shards"]) for group in self._manifest["groups"]  # type: ignore[index]
+        )
+        return stored + len(self._buffer)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self._manifest["total_samples"]) + sum(  # type: ignore[arg-type]
+            shard.n_samples for shard in self._buffer
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """On-disk bytes of the store's group files."""
+        total = 0
+        for group in self._manifest["groups"]:  # type: ignore[index]
+            try:
+                total += (self.path / group["file"]).stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def shard_index(self) -> List[Tuple[int, Optional[int]]]:
+        """Stored ``(trial, process)`` addresses in append order."""
+        addresses: List[Tuple[int, Optional[int]]] = []
+        for group in self._manifest["groups"]:  # type: ignore[index]
+            for entry in group["shards"]:
+                addresses.append(
+                    (
+                        int(entry["trial"]),
+                        None if entry["process"] is None else int(entry["process"]),
+                    )
+                )
+        addresses.extend((shard.trial, shard.process) for shard in self._buffer)
+        return addresses
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.mode != "r" and not self._manifest["complete"]:
+            self.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardStore({str(self.path)!r}, mode={self.mode!r}, "
+            f"groups={self.n_groups}, shards={self.n_shards}, "
+            f"samples={self.n_samples})"
+        )
+
+
+def publish_store(staged: PathLike, final: PathLike) -> Path:
+    """Atomically move a fully-built store directory into its shared place.
+
+    The shared-cache write protocol: build the store in a sibling temp
+    directory, :meth:`~ShardStore.finalize` it, then ``publish_store``.
+    ``os.rename`` makes the publication atomic; if another tenant won the
+    race (``final`` already exists), the staged copy is discarded and the
+    winner's store is used — both are bit-identical by construction, so
+    dropping the loser is safe.
+    """
+    import shutil
+
+    staged_path, final_path = Path(staged), Path(final)
+    final_path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        os.rename(staged_path, final_path)
+    except OSError:
+        if not (final_path / MANIFEST_NAME).exists():
+            raise
+        shutil.rmtree(staged_path, ignore_errors=True)
+    return final_path
+
+
+__all__ = [
+    "ShardStore",
+    "publish_store",
+    "STORE_FORMAT_VERSION",
+    "DEFAULT_SPILL_THRESHOLD_BYTES",
+]

@@ -70,7 +70,14 @@ class CampaignService:
         Directory shared with :class:`~repro.experiments.session.CampaignSession`
         for config-hash-keyed ``.npz`` results; completed configurations
         are served from it without re-execution (``cache_hits`` counter).
-        ``None`` disables caching.
+        ``None`` disables caching.  Writes go through the atomic
+        temp-file protocol and corrupt entries are detected and recomputed,
+        so many service workers and sessions can share one directory.
+    cache_max_bytes:
+        Size budget of the shared cache tier
+        (:class:`~repro.io.cache_tier.CacheTier`): every write LRU-evicts
+        entries over budget.  ``None`` defers to ``$REPRO_CACHE_MAX_BYTES``
+        and, failing that, leaves the tier unbounded.
     executor_mode:
         Worker-pool flavour for within-job shard parallelism (``"process"``
         or ``"thread"``), as in :class:`CampaignSession`.
@@ -84,6 +91,7 @@ class CampaignService:
         workers: int = 2,
         max_queue: int = 32,
         cache_dir: Optional[Union[str, Path]] = None,
+        cache_max_bytes: Optional[int] = None,
         executor_mode: str = "process",
         default_scale: str = "smoke",
     ) -> None:
@@ -92,6 +100,11 @@ class CampaignService:
                 f"default_scale must be one of {SCALES}, got {default_scale!r}"
             )
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.cache_tier = None
+        if self.cache_dir is not None:
+            from repro.io.cache_tier import CacheTier
+
+            self.cache_tier = CacheTier(self.cache_dir, max_bytes=cache_max_bytes)
         self.executor_mode = executor_mode
         self.default_scale = default_scale
         self._scheduler = JobScheduler(
@@ -243,6 +256,9 @@ class CampaignService:
             "workers": self._scheduler.workers,
             "jobs": states,
             "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "cache_tier": (
+                self.cache_tier.stats() if self.cache_tier is not None else None
+            ),
         }
 
     def _count(self, name: str, amount: int = 1) -> None:
@@ -304,26 +320,34 @@ class CampaignService:
         try:
             config = job.config
             cache_path = campaign_cache_path(self.cache_dir, config)
-            if cache_path is not None and job.use_cache and cache_path.exists():
-                from repro.io.dataset_io import load_dataset
+            if cache_path is not None and job.use_cache:
+                from repro.io.dataset_io import try_load_dataset
 
-                self._count("cache_hits")
-                dataset = load_dataset(cache_path)
-                scenario = getattr(config, "scenario", None)
-                if dataset.metadata.get("scenario") != scenario:
-                    dataset = dataset.with_metadata(scenario=scenario)
-                result = CampaignResult(config, dataset=dataset, from_cache=True)
-                shards = result.shards  # derived per trial on cache hits
-                post(setattr, job.progress, "shards_total", len(shards))
-                for shard in shards:
-                    check_cancel()
-                    post(job._deliver, shard)
-                post(
-                    functools.partial(
-                        job._finish, result, dataset_digest(dataset), from_cache=True
+                # corruption-tolerant: a truncated or stale entry loads as
+                # None (and is removed) — the job falls through to recompute
+                dataset = try_load_dataset(cache_path)
+                if dataset is not None:
+                    self._count("cache_hits")
+                    if self.cache_tier is not None:
+                        self.cache_tier.touch(cache_path)
+                    scenario = getattr(config, "scenario", None)
+                    if dataset.metadata.get("scenario") != scenario:
+                        dataset = dataset.with_metadata(scenario=scenario)
+                    result = CampaignResult(config, dataset=dataset, from_cache=True)
+                    shards = result.shards  # derived per trial on cache hits
+                    post(setattr, job.progress, "shards_total", len(shards))
+                    for shard in shards:
+                        check_cancel()
+                        post(job._deliver, shard)
+                    post(
+                        functools.partial(
+                            job._finish,
+                            result,
+                            dataset_digest(dataset),
+                            from_cache=True,
+                        )
                     )
-                )
-                return
+                    return
             if self.cache_dir is not None:
                 self._count("cache_misses")
             backend = get_backend(config.backend)
@@ -339,7 +363,9 @@ class CampaignService:
             if cache_path is not None:
                 from repro.io.dataset_io import save_dataset
 
-                save_dataset(dataset, cache_path)
+                save_dataset(dataset, cache_path)  # atomic temp + replace
+                if self.cache_tier is not None:
+                    self.cache_tier.admit(cache_path)
             result = CampaignResult(
                 config, shards=shards, dataset=dataset, metadata=metadata
             )
@@ -396,7 +422,9 @@ class CampaignService:
                 if cache_path is not None:
                     from repro.io.dataset_io import save_dataset
 
-                    save_dataset(dataset, cache_path)
+                    save_dataset(dataset, cache_path)  # atomic temp + replace
+                    if self.cache_tier is not None:
+                        self.cache_tier.admit(cache_path)
                 result = CampaignResult(job.config, dataset=dataset)
                 shards = result.shards  # derived per trial, as on cache hits
                 post(setattr, job.progress, "shards_total", len(shards))

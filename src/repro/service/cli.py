@@ -83,6 +83,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="serve completed configurations from this campaign cache",
     )
     parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="cache-tier size budget in MiB; least-recently-used entries "
+        "are evicted over budget (default: $REPRO_CACHE_MAX_BYTES)",
+    )
+    parser.add_argument(
         "--executor-mode",
         choices=("process", "thread"),
         default="process",
@@ -117,6 +125,9 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         max_queue=args.max_queue,
         cache_dir=args.cache_dir,
+        cache_max_bytes=(
+            int(args.cache_max_mb * 2**20) if args.cache_max_mb is not None else None
+        ),
         executor_mode=args.executor_mode,
         default_scale=args.scale,
     )

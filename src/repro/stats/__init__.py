@@ -29,7 +29,7 @@ from repro.stats.histogram import FixedWidthHistogram, fixed_width_histogram
 from repro.stats.moments import kurtosis, skewness, standardize
 from repro.stats.percentiles import PercentileSeries, iqr, percentile_table
 from repro.stats.shapiro import ShapiroWilkResult, shapiro_wilk
-from repro.stats.sketch import P2Quantile, PercentileSketch
+from repro.stats.sketch import BoundedTopK, P2Quantile, PercentileSketch
 from repro.stats.streaming import StreamingHistogram, StreamingMoments
 
 __all__ = [
@@ -56,4 +56,5 @@ __all__ = [
     "StreamingHistogram",
     "P2Quantile",
     "PercentileSketch",
+    "BoundedTopK",
 ]

@@ -18,6 +18,11 @@ merged campaign in memory.  Two tools are provided:
   maximum).  Quantile error is bounded by the local quantile spacing,
   roughly ``1 / capacity`` of rank — documented tolerance, checked in the
   test suite.
+* :class:`BoundedTopK` — a keyed companion: a bounded, mergeable pool of
+  ``(value, key)`` candidates spanning the stream's value range, for
+  queries that must answer with a *key* (e.g. the exemplar
+  process-iteration whose laggard gap is closest to the class median,
+  Figures 5/7/9) without retaining every group.
 """
 
 from __future__ import annotations
@@ -207,3 +212,97 @@ class PercentileSketch:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "exact" if self.exact else f"capacity={self.capacity}"
         return f"PercentileSketch(n={self.n}, {mode})"
+
+
+class BoundedTopK:
+    """Bounded, mergeable pool of ``(value, key)`` candidates.
+
+    Keeps at most ``capacity`` candidates sorted by value; over capacity it
+    recompresses to evenly spaced order statistics of the pooled values
+    (always pinning the exact minimum and maximum), carrying each retained
+    value's key along.  The pool therefore spans the full value range with
+    roughly quantile-spaced candidates, so :meth:`nearest` — the key whose
+    value is closest to a target, e.g. a class-median laggard gap — is off
+    by at most one quantile spacing (≈ ``n / capacity`` ranks).
+
+    While the stream holds at most ``capacity`` candidates the pool is
+    exact.  Keys are kept opaque (any picklable object; the analysis passes
+    use process-iteration key tuples).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 4:
+            raise ValueError("capacity must be >= 4")
+        self.capacity = int(capacity)
+        self.n = 0
+        self._values = np.empty(0, dtype=np.float64)
+        self._keys: List[object] = []
+
+    # ------------------------------------------------------------------
+    def update(self, values, keys: Sequence[object]) -> "BoundedTopK":
+        """Fold a batch of candidates in (returns ``self``)."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        keys = list(keys)
+        if arr.size != len(keys):
+            raise ValueError(
+                f"values and keys disagree ({arr.size} vs {len(keys)})"
+            )
+        if arr.size == 0:
+            return self
+        self.n += int(arr.size)
+        self._absorb(np.concatenate([self._values, arr]), self._keys + keys)
+        return self
+
+    def merge(self, other: "BoundedTopK") -> "BoundedTopK":
+        """New pool summarising the union of both candidate sets."""
+        merged = BoundedTopK(min(self.capacity, other.capacity))
+        merged.n = self.n + other.n
+        merged._absorb(
+            np.concatenate([self._values, other._values]),
+            self._keys + other._keys,
+        )
+        return merged
+
+    def _absorb(self, values: np.ndarray, keys: List[object]) -> None:
+        order = np.argsort(values, kind="stable")
+        self._values = values[order]
+        self._keys = [keys[i] for i in order]
+        if len(self._values) > self.capacity:
+            idx = np.round(
+                np.linspace(0, len(self._values) - 1, self.capacity)
+            ).astype(np.int64)
+            self._values = self._values[idx]
+            self._keys = [self._keys[i] for i in idx]
+
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Retained candidate values, ascending."""
+        return self._values
+
+    @property
+    def keys(self) -> List[object]:
+        """Retained candidate keys, aligned with :attr:`values`."""
+        return list(self._keys)
+
+    def quantile(self, percentile) -> np.ndarray:
+        """Approximate percentile(s) of the candidate values (0..100)."""
+        if self.n == 0:
+            raise ValueError("no candidates observed")
+        return np.percentile(self._values, percentile)
+
+    def nearest(self, target: float):
+        """The key whose value is closest to ``target`` (``None`` if empty)."""
+        if len(self._values) == 0:
+            return None
+        best = int(np.argmin(np.abs(self._values - float(target))))
+        return self._keys[best]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BoundedTopK(n={self.n}, retained={len(self._values)}, "
+            f"capacity={self.capacity})"
+        )

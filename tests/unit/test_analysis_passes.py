@@ -22,6 +22,7 @@ from repro.analysis.passes import (
 )
 from repro.core.aggregation import AggregationLevel, aggregate, aggregate_shard
 from repro.core.analyzer import ThreadTimingAnalyzer
+from repro.core.laggard import IterationClass
 from repro.core.timing import TimingDataset, TimingShard
 
 BUILTIN = ("earlybird", "histogram", "laggards", "normality", "percentiles", "reclaimable")
@@ -224,3 +225,59 @@ class TestPassValidation:
         results = run_analyses(shards, ["percentiles"], context)
         with pytest.raises(ValueError):
             results.report()
+
+
+class TestSketchExemplars:
+    """Bounded-mode exemplar selection from the candidate pools."""
+
+    def test_candidate_pools_only_in_sketch_mode(self, dataset, shards, context):
+        exact = run_analyses(shards, ["laggards"], context)["laggards"]
+        assert exact.candidates is None
+
+        sketch_context = AnalysisContext.from_dataset(dataset, exact=False)
+        sketch = run_analyses(shards, ["laggards"], sketch_context)["laggards"]
+        assert sketch.analysis is None
+        assert set(sketch.candidates) == {cls.value for cls in IterationClass}
+
+    def test_sketch_exemplar_is_a_real_member_of_its_class(
+        self, dataset, shards, context
+    ):
+        """The approximate exemplar must carry an exact-classified key.
+
+        Groups are classified whole (each (trial, process, iteration) group
+        lives inside one shard), so every pooled candidate's class agrees
+        with the exact analysis — only *which* member is picked is
+        approximate.
+        """
+        analysis = run_analyses(shards, ["laggards"], context)["laggards"].analysis
+        sketch_context = AnalysisContext.from_dataset(dataset, exact=False)
+        sketch = run_analyses(shards, ["laggards"], sketch_context)["laggards"]
+        for cls in IterationClass:
+            exact_keys = {
+                analysis.keys[i]
+                for i, c in enumerate(analysis.classes)
+                if c is cls
+            }
+            key = sketch.exemplar(cls)
+            if exact_keys:
+                assert key in exact_keys
+            else:
+                assert key is None
+
+    def test_shard_order_does_not_change_pool_membership(self, dataset, shards):
+        context = AnalysisContext.from_dataset(dataset, exact=False)
+        forward = run_analyses(shards, ["laggards"], context)["laggards"]
+        backward = run_analyses(list(reversed(shards)), ["laggards"], context)[
+            "laggards"
+        ]
+        for cls in IterationClass:
+            assert sorted(forward.candidates[cls.value].keys) == sorted(
+                backward.candidates[cls.value].keys
+            )
+
+    def test_tiny_capacity_still_selects(self, dataset, shards):
+        context = AnalysisContext.from_dataset(dataset, exact=False)
+        pass_ = LaggardsPass(candidate_capacity=4)
+        result = run_analyses(shards, [pass_], context)["laggards"]
+        assert all(len(pool) <= 4 for pool in result.candidates.values())
+        assert result.exemplar(IterationClass.LAGGARD) is not None

@@ -1,10 +1,13 @@
 """Unit tests for dataset persistence and the text/CSV figure exporters."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.timing import TimingDataset
 from repro.io import dataset_to_csv, load_dataset, save_dataset, validate_columns
+from repro.io.dataset_io import try_load_dataset
 from repro.stats.histogram import fixed_width_histogram
 from repro.stats.percentiles import PercentileSeries
 from repro.viz import (
@@ -127,3 +130,63 @@ class TestCsvExport:
         path = export_rows_csv(rows, tmp_path / "rows.csv")
         header = path.read_text().splitlines()[0]
         assert header == "a,b,c"
+
+
+class TestAtomicCacheWrites:
+    """Crash-safe ``.npz`` writes and corruption-tolerant cache loads."""
+
+    def test_save_leaves_no_tmp_sibling(self, small_dataset, tmp_path):
+        target = save_dataset(small_dataset, tmp_path / "campaign_x.npz")
+        assert target.exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["campaign_x.npz"]
+
+    def test_try_load_missing_returns_none(self, tmp_path):
+        assert try_load_dataset(tmp_path / "absent.npz") is None
+
+    def test_truncated_archive_recovered_not_raised(self, small_dataset, tmp_path):
+        """A pre-atomic-write crash artifact: half an archive at the path."""
+        target = save_dataset(small_dataset, tmp_path / "campaign_x.npz")
+        blob = target.read_bytes()
+        target.write_bytes(blob[: len(blob) // 2])
+        assert try_load_dataset(target) is None
+        assert not target.exists()  # removed so it cannot poison later hits
+
+    def test_garbage_bytes_recovered(self, tmp_path):
+        target = tmp_path / "campaign_x.npz"
+        target.write_bytes(b"this is not a zip archive")
+        assert try_load_dataset(target) is None
+        assert not target.exists()
+
+    def test_format_version_mismatch_recovered(self, small_dataset, tmp_path):
+        target = save_dataset(small_dataset, tmp_path / "campaign_x.npz")
+        columns = {n: small_dataset.column(n) for n in small_dataset.columns}
+        payload = dict(columns)
+        payload["__metadata__"] = np.array(
+            json.dumps({"format_version": 999, "metadata": {}})
+        )
+        with open(target, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        with pytest.raises(ValueError, match="format version"):
+            load_dataset(target)
+        assert try_load_dataset(target) is None
+        assert not target.exists()
+
+    def test_session_recomputes_over_corrupt_cache(self, tmp_path):
+        """End to end: a poisoned cache entry heals on the next run."""
+        from repro.experiments.config import CampaignConfig
+        from repro.experiments.session import CampaignSession, campaign_cache_path
+
+        config = CampaignConfig.smoke("minife")
+        session = CampaignSession(config, cache_dir=tmp_path)
+        digest_first = session.run().dataset.compute_times_s.tobytes()
+
+        cache_path = campaign_cache_path(tmp_path, session.config_for())
+        assert cache_path.exists()
+        cache_path.write_bytes(b"corrupted beyond repair")
+
+        fresh = CampaignSession(config, cache_dir=tmp_path)
+        result = fresh.run()
+        assert not result.from_cache  # the poisoned entry was discarded
+        assert result.dataset.compute_times_s.tobytes() == digest_first
+        reloaded = CampaignSession(config, cache_dir=tmp_path).run()
+        assert reloaded.from_cache  # ... and rewritten healthy

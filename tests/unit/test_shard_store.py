@@ -1,0 +1,230 @@
+"""Unit tests for the spillable, memory-mapped campaign shard store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.timing import TimingDataset, TimingShard
+from repro.experiments.config import CampaignConfig
+from repro.experiments.session import CampaignSession, campaign_store_path
+from repro.io.shard_store import (
+    DEFAULT_SPILL_THRESHOLD_BYTES,
+    MANIFEST_NAME,
+    STORE_FORMAT_VERSION,
+    ShardStore,
+    publish_store,
+)
+from repro.service.jobs import dataset_digest
+
+# The same smoke-campaign digests the scenario matrix pins
+# (tests/integration/test_scenario_pipeline.py): a campaign that goes
+# through the store must merge back to these bits exactly.
+SEED_DIGESTS = {
+    "minife": "bb2fcafc7160d7099ca5ef6dac0ecd53bff0aad663032aed63a90c0242740980",
+    "minimd": "aad69e389dcdd05bee4e48e4e001a4e94e9a7b98124d3c24f49a2ce701cd1568",
+    "miniqmc": "42d6abd256f408648188889ba1df2732b40a30ef1dbdbc4cb929170999478881",
+}
+
+
+@pytest.fixture(scope="module")
+def shards():
+    rng = np.random.default_rng(99)
+    times = np.abs(rng.normal(20e-3, 1e-3, size=(2, 3, 4, 8)))
+    dataset = TimingDataset.from_compute_times(times, {"application": "toy"})
+    return [
+        TimingShard.from_dataset(
+            dataset.select(trial=int(t), process=int(p)), trial=int(t), process=int(p)
+        )
+        for t in dataset.trials
+        for p in dataset.processes
+    ]
+
+
+class TestFormat:
+    def test_round_trip_is_bit_identical(self, tmp_path, shards):
+        store = ShardStore.create(tmp_path / "c.store", spill_threshold_bytes=1)
+        store.extend(shards)
+        store.finalize({"application": "toy"})
+
+        reloaded = ShardStore.open(tmp_path / "c.store")
+        assert reloaded.complete
+        assert reloaded.metadata == {"application": "toy"}
+        assert reloaded.n_shards == len(shards)
+        for original, stored in zip(shards, reloaded.iter_shards()):
+            assert (stored.trial, stored.process) == (
+                original.trial,
+                original.process,
+            )
+            for name, values in original.columns.items():
+                recovered = stored.columns[name]
+                assert np.asarray(recovered).dtype == np.asarray(values).dtype
+                np.testing.assert_array_equal(recovered, values)
+
+    def test_spill_threshold_controls_grouping(self, tmp_path, shards):
+        eager = ShardStore.create(tmp_path / "eager.store", spill_threshold_bytes=1)
+        eager.extend(shards)
+        eager.flush()
+        assert eager.n_groups == len(shards)
+
+        lazy = ShardStore.create(
+            tmp_path / "lazy.store",
+            spill_threshold_bytes=DEFAULT_SPILL_THRESHOLD_BYTES,
+        )
+        lazy.extend(shards)
+        assert lazy.n_groups == 0  # still buffered
+        assert lazy.n_shards == len(shards)  # but visible to introspection
+        lazy.flush()
+        assert lazy.n_groups == 1
+
+    def test_reads_are_memory_mapped_views(self, tmp_path, shards):
+        store = ShardStore.create(tmp_path / "c.store")
+        store.extend(shards)
+        store.flush()
+        shard = next(ShardStore.open(tmp_path / "c.store").iter_shards())
+        for values in shard.columns.values():
+            assert isinstance(values, np.memmap)
+
+    def test_dataset_merges_with_store_metadata(self, tmp_path, shards):
+        store = ShardStore.create(tmp_path / "c.store", spill_threshold_bytes=1)
+        store.extend(shards)
+        store.finalize({"application": "toy"})
+        merged = store.dataset()
+        direct = TimingDataset.merge(shards, metadata={"application": "toy"})
+        assert dataset_digest(merged) == dataset_digest(direct)
+        assert merged.metadata["application"] == "toy"
+
+    def test_writable_lifecycle_errors(self, tmp_path, shards):
+        path = tmp_path / "c.store"
+        store = ShardStore.create(path)
+        store.append(shards[0])
+        store.finalize()
+        with pytest.raises(ValueError, match="finalized"):
+            store.append(shards[1])
+        with pytest.raises(FileExistsError):
+            ShardStore.create(path)
+        with pytest.raises(FileNotFoundError):
+            ShardStore.open(tmp_path / "missing.store")
+        with pytest.raises(ValueError, match="read-only"):
+            ShardStore.open(path).append(shards[0])
+        with pytest.raises(ValueError, match="mode"):
+            ShardStore(path, mode="x")
+
+    def test_unsupported_format_version_rejected(self, tmp_path, shards):
+        path = tmp_path / "c.store"
+        store = ShardStore.create(path)
+        store.append(shards[0])
+        store.finalize()
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == STORE_FORMAT_VERSION
+        manifest["format_version"] = STORE_FORMAT_VERSION + 1
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format version"):
+            ShardStore.open(path)
+
+    def test_mismatched_column_sets_rejected(self, tmp_path, shards):
+        store = ShardStore.create(tmp_path / "c.store")
+        store.append(shards[0])
+        widened = dict(shards[1].columns)
+        widened["start_ns"] = np.zeros(shards[1].n_samples, dtype=np.int64)
+        store.append(
+            TimingShard(
+                trial=shards[1].trial,
+                process=shards[1].process,
+                columns=widened,
+            )
+        )
+        with pytest.raises(ValueError, match="same column set"):
+            store.flush()
+
+
+class TestConcurrentAppend:
+    def test_reader_snapshots_published_groups(self, tmp_path, shards):
+        path = tmp_path / "c.store"
+        writer = ShardStore(path, mode="a", spill_threshold_bytes=1)
+        writer.append(shards[0])  # threshold 1: every append publishes
+
+        reader = ShardStore.open(path)
+        assert len(list(reader.iter_shards())) == 1
+
+        writer.append(shards[1])
+        writer.append(shards[2])
+        # the same reader sees the new groups on its *next* iteration
+        assert len(list(reader.iter_shards())) == 3
+
+    def test_in_flight_iteration_is_unaffected_by_appends(self, tmp_path, shards):
+        path = tmp_path / "c.store"
+        writer = ShardStore(path, mode="a", spill_threshold_bytes=1)
+        for shard in shards[:2]:
+            writer.append(shard)
+
+        reader = ShardStore.open(path)
+        iterator = reader.iter_shards()
+        first = next(iterator)
+        np.testing.assert_array_equal(
+            first.columns["compute_time_s"], shards[0].columns["compute_time_s"]
+        )
+        writer.append(shards[2])  # published mid-iteration
+        # the running iterator still covers exactly its snapshot
+        assert len(list(iterator)) == 1
+
+    def test_writer_buffer_visible_through_its_own_iteration(
+        self, tmp_path, shards
+    ):
+        writer = ShardStore(tmp_path / "c.store", mode="a")
+        writer.extend(shards)
+        # iter_shards on a writable store flushes first: nothing is lost
+        assert len(list(writer.iter_shards())) == len(shards)
+        assert writer.n_groups == 1
+
+
+class TestPublish:
+    def test_staged_store_published_atomically(self, tmp_path, shards):
+        staged = tmp_path / "final.store.tmp-123"
+        final = tmp_path / "final.store"
+        store = ShardStore.create(staged, spill_threshold_bytes=1)
+        store.extend(shards)
+        store.finalize()
+        assert publish_store(staged, final) == final
+        assert not staged.exists()
+        assert ShardStore.open(final).complete
+
+    def test_losing_the_publish_race_discards_staged(self, tmp_path, shards):
+        final = tmp_path / "final.store"
+        winner = ShardStore.create(final, spill_threshold_bytes=1)
+        winner.append(shards[0])
+        winner.finalize()
+
+        staged = tmp_path / "final.store.tmp-456"
+        loser = ShardStore.create(staged, spill_threshold_bytes=1)
+        loser.append(shards[0])
+        loser.finalize()
+        publish_store(staged, final)
+        assert not staged.exists()
+        assert ShardStore.open(final).n_shards == 1
+
+
+class TestCampaignRoundTrip:
+    @pytest.mark.parametrize("application", sorted(SEED_DIGESTS))
+    def test_stored_campaign_matches_pinned_digest(self, tmp_path, application):
+        """A campaign spilled through the store merges back bit-identically."""
+        config = CampaignConfig.smoke(application)
+        session = CampaignSession(config, cache_dir=tmp_path / "cache")
+        result = session.run(
+            application, store=True, spill_threshold_bytes=1, use_cache=False
+        )
+        assert result.store is not None
+        assert result.store.n_groups > 1  # actually spilled in groups
+        assert dataset_digest(result.dataset) == SEED_DIGESTS[application]
+
+    def test_completed_store_is_reused_from_cache(self, tmp_path):
+        config = CampaignConfig.smoke("minife")
+        session = CampaignSession(config, cache_dir=tmp_path / "cache")
+        first = session.run("minife", store=True)
+        assert not first.from_cache
+        second = session.run("minife", store=True)
+        assert second.from_cache
+        assert second.store.path == campaign_store_path(
+            tmp_path / "cache", session.config_for("minife")
+        )
+        assert dataset_digest(second.dataset) == SEED_DIGESTS["minife"]

@@ -5,7 +5,7 @@ import pytest
 
 from repro.stats.histogram import fixed_width_histogram
 from repro.stats.moments import kurtosis, skewness
-from repro.stats.sketch import P2Quantile, PercentileSketch
+from repro.stats.sketch import BoundedTopK, P2Quantile, PercentileSketch
 from repro.stats.streaming import StreamingHistogram, StreamingMoments
 
 
@@ -173,3 +173,50 @@ class TestPercentileSketch:
     def test_mode_mismatch_rejected(self):
         with pytest.raises(ValueError):
             PercentileSketch(exact=True).merge(PercentileSketch(64))
+
+
+class TestBoundedTopK:
+    def test_exact_while_under_capacity(self):
+        pool = BoundedTopK(capacity=16)
+        values = [3.0, 1.0, 2.0, 5.0, 4.0]
+        pool.update(values, [f"k{v:.0f}" for v in values])
+        assert len(pool) == 5 and pool.n == 5
+        np.testing.assert_array_equal(pool.values, [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert pool.keys == ["k1", "k2", "k3", "k4", "k5"]
+        assert pool.nearest(3.4) == "k3"
+
+    def test_compression_pins_extremes_and_bounds_error(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=5000)
+        pool = BoundedTopK(capacity=64)
+        for chunk in np.array_split(values, 13):
+            pool.update(chunk, [None] * chunk.size)
+        assert len(pool) == 64 and pool.n == 5000
+        assert pool.values[0] == values.min()
+        assert pool.values[-1] == values.max()
+        # quantile-spaced retention: the pooled median is within one
+        # spacing (~ n/capacity ranks) of the true median
+        assert float(pool.quantile(50.0)) == pytest.approx(
+            float(np.median(values)), abs=np.ptp(values) / 32
+        )
+
+    def test_merge_unions_candidates(self):
+        left = BoundedTopK(capacity=8).update([1.0, 2.0], ["a", "b"])
+        right = BoundedTopK(capacity=32).update([0.5, 3.0], ["c", "d"])
+        merged = left.merge(right)
+        assert merged.capacity == 8
+        assert merged.n == 4
+        np.testing.assert_array_equal(merged.values, [0.5, 1.0, 2.0, 3.0])
+        assert merged.keys == ["c", "a", "b", "d"]
+        # inputs untouched
+        assert len(left) == 2 and len(right) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedTopK(capacity=3)
+        with pytest.raises(ValueError):
+            BoundedTopK().update([1.0, 2.0], ["only-one"])
+        with pytest.raises(ValueError):
+            BoundedTopK().quantile(50.0)
+        assert BoundedTopK().nearest(0.0) is None
+        assert BoundedTopK().update([], []).n == 0
