@@ -38,6 +38,7 @@ def measure(args: argparse.Namespace) -> dict:
             threads=args.threads,
             seed=args.seed,
             backend=args.backend,
+            max_workers=args.max_workers,
         )
         session = CampaignSession(config, cache_dir=Path(tmp) / "cache")
         start = time.perf_counter()
@@ -64,11 +65,18 @@ def measure(args: argparse.Namespace) -> dict:
     return {
         "mode": args.mode,
         "trials": args.trials,
+        "workers": args.max_workers,
         "samples": samples,
         "elapsed_s": elapsed,
         "samples_per_second": samples / elapsed,
-        # Linux reports ru_maxrss in kilobytes
-        "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+        # Linux reports ru_maxrss in kilobytes; chunk-parallel runs fold in
+        # forked pool workers, so take the max over the (by now reaped)
+        # children as well — the budget bounds every process, not just the
+        # parent
+        "peak_rss_mb": max(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+        ) / 1024,
         "digest": digest.hexdigest(),
     }
 
@@ -83,6 +91,7 @@ def main(argv=None) -> int:
     parser.add_argument("--threads", type=int, default=48)
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--backend", default="campaign")
+    parser.add_argument("--max-workers", type=int, default=1)
     parser.add_argument("--spill-mb", type=int, default=8)
     parser.add_argument("--workdir", default=None)
     json.dump(measure(parser.parse_args(argv)), sys.stdout)

@@ -44,7 +44,7 @@ _CHILD = Path(__file__).with_name("_out_of_core_child.py")
 
 
 @lru_cache(maxsize=None)
-def _measure(mode: str, factor: int) -> dict:
+def _measure(mode: str, factor: int, workers: int = 1) -> dict:
     """Run one child measurement (cached per process: guards reuse bench runs)."""
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parent.parent / "src")
@@ -58,6 +58,8 @@ def _measure(mode: str, factor: int) -> dict:
             mode,
             "--trials",
             str(BASE_TRIALS * factor),
+            "--max-workers",
+            str(workers),
         ],
         check=True,
         capture_output=True,
@@ -109,6 +111,26 @@ def test_out_of_core_memory_guard():
     assert result["peak_rss_mb"] < MEMORY_BUDGET_MB, (
         f"100x spilled campaign peaked at {result['peak_rss_mb']:.0f} MB "
         f"(budget {MEMORY_BUDGET_MB} MB)"
+    )
+
+
+def test_out_of_core_parallel_memory_guard():
+    """Chunk-parallel spilling stays inside the RAM budget at 4 workers.
+
+    With ``max_workers=4`` the campaign backend's process workers write
+    their chunks straight into the shard store's on-disk group format, so
+    per-process residency is one chunk tensor regardless of campaign size
+    (10x scale here keeps the CI wall-clock bounded — worker residency does
+    not grow with the trials axis).  The digest must equal the serial
+    spilled run's: direct worker spilling is bit-identical.
+    """
+    parallel = _measure("ooc", 10, workers=4)
+    assert parallel["peak_rss_mb"] < MEMORY_BUDGET_MB, (
+        f"4-worker spilled campaign peaked at {parallel['peak_rss_mb']:.0f} MB "
+        f"(budget {MEMORY_BUDGET_MB} MB)"
+    )
+    assert parallel["digest"] == _measure("ooc", 10)["digest"], (
+        "4-worker spilled campaign is not bit-identical to the serial spill"
     )
 
 

@@ -243,6 +243,39 @@ class ProxyApplication(ABC):
                 )
         return np.stack(planes)
 
+    def _apply_campaign_noise(
+        self,
+        times: np.ndarray,
+        shards: Sequence[tuple],
+        rng: np.random.Generator,
+        noise: Optional[OSNoiseModel],
+    ) -> np.ndarray:
+        """Apply execution jitter and OS noise plane by plane.
+
+        Each shard's jitter and noise draws sit under its absolute
+        ``("shard", trial, process)`` scope (nested inside the ``"jitter"`` /
+        ``"noise"`` stage scopes), so a shard's samples depend only on its
+        own identity — the invariant that lets chunks run in any order, in
+        any partition, on any worker, and still assemble bit-identically.
+        """
+        if noise is None:
+            return times
+        if noise.spec.enabled and noise.spec.jitter_fraction > 0:
+            jitter = np.empty_like(times)
+            with maybe_scope(rng, "jitter"):
+                for index, (trial, process) in enumerate(shards):
+                    with maybe_scope(rng, "shard", int(trial), int(process)):
+                        jitter[index] = rng.normal(
+                            1.0, noise.spec.jitter_fraction, size=times.shape[1:]
+                        )
+            times = times * np.clip(jitter, 0.5, None)
+        delays = np.empty_like(times)
+        with maybe_scope(rng, "noise"):
+            for index, (trial, process) in enumerate(shards):
+                with maybe_scope(rng, "shard", int(trial), int(process)):
+                    delays[index] = noise.batch_delays(times[index], rng)
+        return times + delays
+
     def finalize_campaign_times(
         self,
         base: np.ndarray,
@@ -267,17 +300,7 @@ class ProxyApplication(ABC):
                 "application_delays_campaign must return one value per "
                 "(shard, iteration, thread)"
             )
-        times = base + extra
-        if noise is not None:
-            if noise.spec.enabled and noise.spec.jitter_fraction > 0:
-                with maybe_scope(rng, "jitter"):
-                    jitter = rng.normal(
-                        1.0, noise.spec.jitter_fraction, size=times.shape
-                    )
-                times = times * np.clip(jitter, 0.5, None)
-            with maybe_scope(rng, "noise"):
-                times = times + noise.batch_delays(times, rng)
-        return times
+        return self._apply_campaign_noise(base + extra, shards, rng, noise)
 
     def thread_compute_times_campaign(
         self,
@@ -291,11 +314,12 @@ class ProxyApplication(ABC):
 
         The whole-campaign analogue of :meth:`thread_compute_times_batch`:
         returns the ``(n_shards, n_iterations, n_threads)`` tensor with one
-        schedule fold, one jitter draw and one noise pass over the entire
-        chunk.  Draws are scoped by purpose (``rng`` is normally the
-        campaign backend's chunk-invariant
+        schedule fold over the entire chunk and per-shard scoped jitter and
+        noise draws.  Draws are keyed by absolute purpose (``rng`` is
+        normally the campaign backend's
         :class:`~repro.sim.random.PurposeSplitRNG`), so any partition of the
-        shard axis produces bit-identical samples.  Applications without
+        shard axis — serial or across worker processes — produces
+        bit-identical samples.  Applications without
         :attr:`campaign_tensor` fall back to whole per-shard
         :meth:`thread_compute_times_batch` calls under absolute per-shard
         scopes — same chunk-invariance, no 3-D overrides required.
@@ -326,8 +350,8 @@ class ProxyApplication(ABC):
         ``("shard", trial, process)`` scope (so any chunking of the shard
         axis replays identical draws), then the stacked
         ``(n_shards, n_iterations, n_items)`` cost tensor folds through the
-        schedule's whole-campaign kernel and jitter/OS noise apply as
-        single whole-tensor passes under purpose scopes — the same shape of
+        schedule's whole-campaign kernel and jitter/OS noise apply plane by
+        plane under the same absolute shard scopes — the same shape of
         work the tensor applications get, without any 3-D overrides.
         Versus running :meth:`thread_compute_times_batch` shard by shard
         the samples agree in distribution (the jitter/noise draw order
@@ -361,17 +385,7 @@ class ProxyApplication(ABC):
                 "application_delays_batch must return one value per "
                 "(iteration, thread)"
             )
-        times = base + extra
-        if noise is not None:
-            if noise.spec.enabled and noise.spec.jitter_fraction > 0:
-                with maybe_scope(rng, "jitter"):
-                    jitter = rng.normal(
-                        1.0, noise.spec.jitter_fraction, size=times.shape
-                    )
-                times = times * np.clip(jitter, 0.5, None)
-            with maybe_scope(rng, "noise"):
-                times = times + noise.batch_delays(times, rng)
-        return times
+        return self._apply_campaign_noise(base + extra, shards, rng, noise)
 
     # ------------------------------------------------------------------
     # sampling (vectorised campaign path)

@@ -181,21 +181,9 @@ class MiniFEApp(ProxyApplication):
         row = self.base_thread_times(0, 0, rng)
         return np.broadcast_to(row, (len(shards), n_iterations, row.size))
 
-    def application_delays_campaign(self, shards, n_iterations, rng):
-        """Every straggler event of the whole campaign in three shard-major
-        draws — which (shard, iteration) cells straggle, the victim threads,
-        the delays."""
-        cfg = self.config
-        delays = np.zeros((len(shards), n_iterations, cfg.n_threads))
-        hit = rng.uniform(size=(len(shards), n_iterations)) < cfg.straggler_probability
-        n_hit = int(hit.sum())
-        if n_hit:
-            victims = rng.integers(cfg.n_threads, size=n_hit)
-            shard_idx, iter_idx = np.nonzero(hit)
-            delays[shard_idx, iter_idx, victims] = rng.uniform(
-                cfg.straggler_min_s, cfg.straggler_max_s, size=n_hit
-            )
-        return delays
+    # straggler delays use the generic per-shard campaign fallback: each
+    # shard's three draws sit under its absolute ("shard", trial, process)
+    # scope, so any chunking or worker assignment replays identical events
 
     # ------------------------------------------------------------------
     # reference kernel

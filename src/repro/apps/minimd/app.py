@@ -178,34 +178,10 @@ class MiniMDApp(ProxyApplication):
     # ------------------------------------------------------------------
     campaign_tensor = True
 
-    def item_costs_campaign(self, shards, n_iterations, rng):
-        """The whole campaign's neighbour-count fluctuations as one 3-D
-        shard-major normal draw."""
-        cfg = self.config
-        atoms_per_thread = self.atoms_per_process / cfg.n_threads
-        base = atoms_per_thread * self.pairs_per_atom * self._time_per_pair
-        fluctuation = rng.normal(
-            1.0,
-            cfg.work_imbalance_fraction,
-            size=(len(shards), n_iterations, cfg.n_threads),
-        )
-        return base * np.clip(fluctuation, 0.5, None)
-
-    def application_delays_campaign(self, shards, n_iterations, rng):
-        """Warm-up settling of every shard as one 3-D uniform draw over the
-        (at most ``warmup_iterations``) warm-up rows."""
-        cfg = self.config
-        delays = np.zeros((len(shards), n_iterations, cfg.n_threads))
-        n_warm = min(cfg.warmup_iterations, n_iterations)
-        if n_warm:
-            centre = TARGET_WARMUP_MEDIAN_S - TARGET_MEDIAN_ARRIVAL_S
-            spread = rng.uniform(
-                -cfg.warmup_spread_s,
-                cfg.warmup_spread_s,
-                size=(len(shards), n_warm, cfg.n_threads),
-            )
-            delays[:, :n_warm] = np.clip(centre + spread, 0.0, None)
-        return delays
+    # costs and warm-up delays use the generic per-shard campaign hooks:
+    # each shard's 2-D batch draws sit under its absolute
+    # ("shard", trial, process) scope, so any chunking or worker assignment
+    # replays identical fluctuations and warm-up settling
 
     # ------------------------------------------------------------------
     # reference kernel

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.apps.base import ApplicationConfig, ProxyApplication
 from repro.apps.miniqmc.mover import run_mover_sweep
+from repro.sim.random import maybe_scope
 
 #: The paper's mean median arrival time for MiniQMC (seconds).
 TARGET_MEDIAN_ARRIVAL_S = 60.91e-3
@@ -191,17 +192,28 @@ class MiniQMCApp(ProxyApplication):
         )
 
     def item_costs_campaign(self, shards, n_iterations, rng):
-        """All shards' per-walker mover times as one 3-D normal draw with
-        per-shard (mean, sd) broadcast along the leading axis."""
+        """All shards' per-walker mover times, one plane draw per shard with
+        that shard's realized (mean, sd) parameters.
+
+        Each plane sits under its absolute ``("shard", trial, process)``
+        scope, so a shard's mover times depend only on its own identity —
+        any chunking or worker assignment replays identical draws.
+        """
         cfg = self.config
-        mean = self.mover_mean_s * self._campaign_mean_scales[:, None, None]
-        sd = (
-            self.mover_mean_s
-            * self.mover_relative_sd
-            * self._campaign_sd_scales[:, None, None]
-        )
-        draws = rng.normal(mean, sd, size=(len(shards), n_iterations, cfg.n_threads))
-        return np.clip(draws, 0.2 * self.mover_mean_s, None) * cfg.sweeps_per_iteration
+        planes = np.empty((len(shards), n_iterations, cfg.n_threads))
+        for index, (trial, process) in enumerate(shards):
+            mean = self.mover_mean_s * self._campaign_mean_scales[index]
+            sd = (
+                self.mover_mean_s
+                * self.mover_relative_sd
+                * self._campaign_sd_scales[index]
+            )
+            with maybe_scope(rng, "shard", int(trial), int(process)):
+                planes[index] = rng.normal(
+                    mean, sd, size=(n_iterations, cfg.n_threads)
+                )
+        draws = np.clip(planes, 0.2 * self.mover_mean_s, None)
+        return draws * cfg.sweeps_per_iteration
 
     # ------------------------------------------------------------------
     # reference kernel

@@ -219,6 +219,27 @@ class RegionInstrumenter:
             }
         )
 
+    def record_columns(self, columns: Dict[str, np.ndarray]) -> None:
+        """Append one pre-assembled columnar block.
+
+        The parallel campaign path assembles a chunk's columns inside a
+        worker process (via :meth:`record_campaign` there) and ships them
+        back as arrays; this appends such a block without re-deriving any
+        ids.  The block must carry exactly the canonical column set, with
+        equal lengths.
+        """
+        if set(columns) != set(self._rows):
+            raise ValueError(
+                f"columns must be exactly {sorted(self._rows)}, "
+                f"got {sorted(columns)}"
+            )
+        arrays = {name: np.asarray(columns[name]) for name in self._rows}
+        lengths = {len(values) for values in arrays.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {sorted(lengths)}")
+        self._flush_rows()
+        self._blocks.append(arrays)
+
     def _flush_rows(self) -> None:
         """Convert any pending per-row appends into a columnar block, so
         mixed ``record_*`` call sequences keep their chronological order."""

@@ -28,15 +28,18 @@ campaign layer without touching it.  Three backends ship with the package:
   bit-for-bit (the batched backend pins its own digests).
 * ``"campaign"`` — the whole-campaign tensor kernel: the batched math lifted
   one more axis, sampling *all* (trial, process) shards as
-  ``(n_shards, n_iterations, n_threads)`` arrays — one schedule fold, one
-  noise draw per source, one columnar instrumenter assembly for an entire
-  shard chunk (``chunk_shards`` bounds peak memory; results are
-  bit-identical across any chunking thanks to the purpose-split draw
-  streams).  Like ``"batched"`` it agrees with ``"vectorized"`` in
-  distribution, not bit-for-bit, and pins its own digests.
-  :meth:`CampaignTensorBackend.run_many` additionally lets several
-  compatible campaigns (scenario-matrix sweeps, concurrent service jobs)
-  share one tensor execution.
+  ``(n_shards, n_iterations, n_threads)`` arrays — one schedule fold and
+  one columnar instrumenter assembly for an entire shard chunk
+  (``chunk_shards`` bounds peak memory).  Draw streams are keyed by
+  absolute shard scope, so results are bit-identical across any chunking
+  *and any worker count*: with ``max_workers > 1`` whole chunks fold in
+  parallel on a process pool, returning their columns through shared
+  memory (or spilling straight into a
+  :class:`~repro.io.shard_store.ShardStore`).  Like ``"batched"`` it
+  agrees with ``"vectorized"`` in distribution, not bit-for-bit, and pins
+  its own digests.  :meth:`CampaignTensorBackend.run_many` additionally
+  lets several compatible campaigns (scenario-matrix sweeps, concurrent
+  service jobs) share one tensor execution.
 
 Every backend decomposes its campaign into *shards* (:meth:`shard_specs` /
 :meth:`run_shard`).  A shard re-derives all of its random streams from the
@@ -48,7 +51,16 @@ result stays bit-identical to a serial run.
 from __future__ import annotations
 
 import dataclasses
+import itertools
+import multiprocessing
+import os
+import threading
 from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Type
 
 import numpy as np
@@ -111,6 +123,11 @@ class CampaignBackend(ABC):
     #: defers to :meth:`iter_shards` (backends whose unit of work is the
     #: whole campaign, not a shard)
     parallelizable: bool = True
+    #: whether the backend parallelizes at *chunk* granularity instead —
+    #: ``True`` means the executor may call :meth:`iter_shards_parallel`
+    #: (the campaign tensor backend: shards are not units of work, but whole
+    #: shard chunks fold independently on a worker pool)
+    chunk_parallel: bool = False
 
     # ------------------------------------------------------------------
     # shard decomposition
@@ -421,6 +438,262 @@ def campaign_group_key(config: "CampaignConfig") -> Tuple:
     return (config.application, config.threads, config.iterations, normalized)
 
 
+# ----------------------------------------------------------------------
+# chunk-parallel plumbing of the campaign tensor backend
+#
+# Workers are module-level functions (picklable) that rebuild the whole
+# execution context from the picklable CampaignConfig: the shard-keyed
+# PurposeSplitRNG makes a chunk's draws depend only on which shards it
+# contains, so any worker can fold any chunk and the assembled campaign is
+# bit-identical to a serial run.  Process workers ship their columns back
+# through one multiprocessing.shared_memory segment per chunk (created only
+# *after* the fold succeeds, so a crashed fold leaves nothing in /dev/shm)
+# instead of pickling (n_shards, n_iterations, n_threads)-sized arrays —
+# the parent attaches, copies the columns once, and unlinks.  When spilling
+# out of core, workers skip the parent entirely and write their chunk
+# straight into the ShardStore's on-disk group format.
+# ----------------------------------------------------------------------
+def _make_pool(mode: str, workers: int):
+    if mode == "thread":
+        return ThreadPoolExecutor(max_workers=workers)
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = None
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+def _chunk_columns(
+    app: ProxyApplication, chunk: List[Tuple[int, int]], times: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Assemble one chunk's full column block (the zero-copy unit shipped
+    between processes and appended via ``record_columns``)."""
+    instrumenter = RegionInstrumenter(region=app.region, application=app.name)
+    instrumenter.record_campaign(shards=chunk, compute_times_s=times)
+    dataset = instrumenter.dataset()
+    return {name: dataset.column(name) for name in dataset.columns}
+
+
+def _slice_chunk_shards(
+    chunk: List[Tuple[int, int]], columns: Dict[str, np.ndarray], per_shard: int
+) -> List[TimingShard]:
+    """Per-shard column views out of one chunk's assembled block."""
+    shards = []
+    for index, (trial, process) in enumerate(chunk):
+        rows = slice(index * per_shard, (index + 1) * per_shard)
+        shards.append(
+            TimingShard(
+                trial=trial,
+                process=process,
+                columns={name: array[rows] for name, array in columns.items()},
+            )
+        )
+    return shards
+
+
+def _pack_blocks(
+    blocks: List[Dict[str, np.ndarray]],
+) -> Tuple[str, List[List[Tuple[str, str, Tuple[int, ...], int]]]]:
+    """Pack column blocks into one shared-memory segment (worker side).
+
+    Returns the segment name plus per-block ``(column, dtype, shape,
+    offset)`` descriptors.  Created only after the fold finished, so a
+    worker that dies mid-fold never leaves a segment behind.
+    """
+    total = sum(
+        np.ascontiguousarray(array).nbytes
+        for block in blocks
+        for array in block.values()
+    )
+    segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    # The parent's attach re-registers the segment with the (fork-shared)
+    # resource tracker and its unlink unregisters it, so drop the creation
+    # registration here — otherwise the tracker double-counts and warns
+    # about a "leaked" segment at shutdown.
+    resource_tracker.unregister(segment._name, "shared_memory")
+    try:
+        descriptors: List[List[Tuple[str, str, Tuple[int, ...], int]]] = []
+        offset = 0
+        for block in blocks:
+            entries = []
+            for name in sorted(block):
+                array = np.ascontiguousarray(block[name])
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf, offset=offset
+                )
+                view[...] = array
+                entries.append((name, array.dtype.str, array.shape, offset))
+                offset += array.nbytes
+            descriptors.append(entries)
+        return segment.name, descriptors
+    finally:
+        segment.close()
+
+
+def _unpack_blocks(segment_name: str, descriptors) -> List[Dict[str, np.ndarray]]:
+    """Copy packed column blocks out of shared memory and unlink it (parent
+    side).  One copy per column — the fork-shared resource tracker then
+    forgets the segment cleanly."""
+    segment = shared_memory.SharedMemory(name=segment_name)
+    try:
+        blocks = []
+        for entries in descriptors:
+            block = {}
+            for name, dtype, shape, offset in entries:
+                view = np.ndarray(
+                    tuple(shape),
+                    dtype=np.dtype(dtype),
+                    buffer=segment.buf,
+                    offset=offset,
+                )
+                block[name] = view.copy()
+            blocks.append(block)
+        return blocks
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def _discard_shm(segment_name: str) -> None:
+    """Unlink an undelivered worker segment (cancelled consumer)."""
+    try:
+        segment = shared_memory.SharedMemory(name=segment_name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    segment.unlink()
+
+
+def _discard_shm_result(result) -> None:
+    _discard_shm(result[0])
+
+
+def _discard_payload_result(result) -> None:
+    Path(result[0]).unlink(missing_ok=True)
+
+
+#: per-worker execution-context cache.  Pool workers are reused across
+#: chunks, so rebuilding the application per chunk would redo its one-time
+#: setup — cost calibration, the deterministic busy-row fold MiniFE caches
+#: on the app instance — for every chunk, costing more than the fold
+#: itself.  Keyed by config equality; thread-local so thread-pool workers
+#: never share a PurposeSplitRNG (its scope stack is mutable).  Reusing a
+#: context is bit-identical to a fresh one: the shard-keyed draw streams
+#: make every draw depend only on its absolute scope path.
+_WORKER_STATE = threading.local()
+_WORKER_CONTEXT_SLOTS = 8
+
+
+def _worker_context(config: "CampaignConfig") -> tuple:
+    cache = getattr(_WORKER_STATE, "contexts", None)
+    if cache is None:
+        cache = _WORKER_STATE.contexts = []
+    for cached, context in cache:
+        if cached == config:
+            return context
+    context = CampaignTensorBackend()._context(config, None)
+    cache.append((config, context))
+    if len(cache) > _WORKER_CONTEXT_SLOTS:
+        cache.pop(0)
+    return context
+
+
+def _campaign_chunk_columns(
+    config: "CampaignConfig", chunk: List[Tuple[int, int]]
+) -> Dict[str, np.ndarray]:
+    """Fold one shard chunk and assemble its column block (worker body)."""
+    app, rng, noise, _ = _worker_context(config)
+    chunk = [tuple(shard) for shard in chunk]
+    times = app.thread_compute_times_campaign(shards=chunk, rng=rng, noise=noise)
+    return _chunk_columns(app, chunk, times)
+
+
+def _run_campaign_chunk_shm(config: "CampaignConfig", chunk):
+    """Process-pool worker: fold a chunk, ship its columns via shared memory."""
+    return _pack_blocks([_campaign_chunk_columns(config, chunk)])
+
+
+def _spill_campaign_chunk(config: "CampaignConfig", chunk, store_dir: str, tag: int):
+    """Process-pool worker: fold a chunk and spill it as a finished
+    shard-store group payload — the arrays never travel to the parent."""
+    from repro.io.shard_store import write_group_payload
+
+    columns = _campaign_chunk_columns(config, chunk)
+    per_shard = config.iterations * config.threads
+    shards = _slice_chunk_shards([tuple(s) for s in chunk], columns, per_shard)
+    path = Path(store_dir) / f"chunk-{tag:05d}-{os.getpid()}.payload"
+    entry = write_group_payload(path, shards)
+    return str(path), entry
+
+
+def _fold_group_chunk(group: List["CampaignConfig"], chunk_entries):
+    """Worker body of one *grouped* execution chunk.
+
+    Mirrors ``CampaignTensorBackend._run_group``'s per-chunk logic: split
+    the chunk into per-config contiguous segments, share one
+    ``simulate_campaign`` fold across every tensor segment, finalize each
+    segment under its own config's purpose streams.  Returns
+    ``(config_index, shards, columns)`` triples.
+    """
+    def context(config_index: int):
+        return _worker_context(group[config_index])
+
+    n_iterations = group[0].iterations
+    n_threads = group[0].threads
+    segments: List[Tuple[int, List[Tuple[int, int]]]] = []
+    for config_index, shard in chunk_entries:
+        if segments and segments[-1][0] == config_index:
+            segments[-1][1].append(tuple(shard))
+        else:
+            segments.append((config_index, [tuple(shard)]))
+    results = []
+    folded: List[Tuple[int, List[Tuple[int, int]], Optional[np.ndarray]]] = []
+    cost_planes: List[np.ndarray] = []
+    schedule = None
+    for config_index, shards in segments:
+        app, rng, noise, _ = context(config_index)
+        if schedule is None:
+            schedule = app.config.schedule
+        if not app.campaign_tensor:
+            times = app.thread_compute_times_campaign(
+                shards=shards, rng=rng, noise=noise
+            )
+            results.append((config_index, shards, _chunk_columns(app, shards, times)))
+            folded.append((config_index, shards, None))
+            continue
+        with maybe_scope(rng, "state"):
+            app.begin_campaign(shards, rng)
+        with maybe_scope(rng, "costs"):
+            costs = app.item_costs_campaign(shards, n_iterations, rng)
+        cost_planes.append(np.asarray(costs, dtype=np.float64))
+        folded.append((config_index, shards, cost_planes[-1]))
+    if cost_planes:
+        busy_all = schedule.simulate_campaign(
+            np.concatenate(cost_planes, axis=0), n_threads
+        )
+        offset = 0
+        for config_index, shards, costs in folded:
+            if costs is None:
+                continue
+            app, rng, noise, _ = context(config_index)
+            base = busy_all[offset : offset + len(shards)]
+            offset += len(shards)
+            times = app.finalize_campaign_times(base, shards, n_iterations, rng, noise)
+            results.append((config_index, shards, _chunk_columns(app, shards, times)))
+    return results
+
+
+def _fold_group_chunk_shm(group: List["CampaignConfig"], chunk_entries):
+    """Process-pool worker: a grouped chunk's segments, packed in one
+    shared-memory segment."""
+    results = _fold_group_chunk(group, chunk_entries)
+    segment_name, descriptors = _pack_blocks(
+        [columns for _, _, columns in results]
+    )
+    meta = [(config_index, shards) for config_index, shards, _ in results]
+    return meta, segment_name, descriptors
+
+
 @register_backend("campaign")
 class CampaignTensorBackend(CampaignBackend):
     """Whole-campaign tensor sampling: every shard in one (chunked) pass.
@@ -428,14 +701,15 @@ class CampaignTensorBackend(CampaignBackend):
     The batched shard kernel lifted one axis: all (trial, process) shards of
     a campaign are sampled together as ``(n_shards, n_iterations,
     n_threads)`` arrays — one schedule fold through
-    :meth:`~repro.openmp.schedule.LoopSchedule.simulate_campaign`, one draw
-    per noise source over the whole tensor, and one columnar
+    :meth:`~repro.openmp.schedule.LoopSchedule.simulate_campaign` and one
+    columnar
     :meth:`~repro.core.instrument.RegionInstrumenter.record_campaign`
     assembly per chunk.  ``chunk_shards`` bounds how many shards are
-    resident at once; the results are **bit-identical for every chunking**
-    because all draws run through a chunk-invariant
-    :class:`~repro.sim.random.PurposeSplitRNG` (persistent per-purpose
-    generators, shard-major draw layout).
+    resident at once; the results are **bit-identical for every chunking
+    and every worker count** because all draws run through the shard-keyed
+    :class:`~repro.sim.random.PurposeSplitRNG` — a draw's value depends
+    only on its absolute (scope path, method, occurrence) identity, never
+    on what folded before it.
 
     Randomness is necessarily ordered differently than both
     ``"vectorized"`` (per iteration) and ``"batched"`` (per shard), so this
@@ -443,13 +717,19 @@ class CampaignTensorBackend(CampaignBackend):
     pinning its own smoke digests.  The schedule fold itself keeps per-row
     bit-identity with ``simulate_batch``/``simulate``.
 
-    The campaign is one unit of work, so the backend is not shard-parallel:
-    the executor's pool path is bypassed (``parallelizable = False``) and
+    The campaign is one unit of work per *chunk*, not per shard, so the
+    executor's shard fan-out is bypassed (``parallelizable = False``);
+    parallelism happens at chunk granularity instead (``chunk_parallel =
+    True``): :meth:`iter_shards_parallel` / the parallel :meth:`run` /
+    :meth:`run_many` fold whole chunks on a worker pool and ship the
+    columns back through shared memory (or straight into a
+    :class:`~repro.io.shard_store.ShardStore` when spilling).
     :meth:`run_shard` is unavailable by construction.
     """
 
     streaming = True
     parallelizable = False
+    chunk_parallel = True
 
     #: default shard-chunk size: large enough that benchmark-scale campaigns
     #: (4 shards) run in one pass, small enough that a paper-scale MiniFE
@@ -495,16 +775,9 @@ class CampaignTensorBackend(CampaignBackend):
         self, app: ProxyApplication, chunk: List[Tuple[int, int]], times: np.ndarray
     ) -> Iterator[TimingShard]:
         """One columnar assembly for the chunk, sliced into per-shard views."""
-        instrumenter = RegionInstrumenter(region=app.region, application=app.name)
-        instrumenter.record_campaign(shards=chunk, compute_times_s=times)
-        dataset = instrumenter.dataset()
+        columns = _chunk_columns(app, chunk, times)
         per_shard = times.shape[1] * times.shape[2]
-        for index, (trial, process) in enumerate(chunk):
-            rows = slice(index * per_shard, (index + 1) * per_shard)
-            columns = {
-                name: dataset.column(name)[rows] for name in dataset.columns
-            }
-            yield TimingShard(trial=trial, process=process, columns=columns)
+        yield from _slice_chunk_shards(chunk, columns, per_shard)
 
     def iter_shards(
         self, config: "CampaignConfig", streams: Optional[RandomStreams] = None
@@ -519,7 +792,11 @@ class CampaignTensorBackend(CampaignBackend):
             yield from self._emit_shards(app, chunk, times)
 
     def run(
-        self, config: "CampaignConfig", streams: Optional[RandomStreams] = None
+        self,
+        config: "CampaignConfig",
+        streams: Optional[RandomStreams] = None,
+        *,
+        mode: str = "process",
     ) -> TimingDataset:
         """Run the whole campaign as one columnar assembly.
 
@@ -527,7 +804,28 @@ class CampaignTensorBackend(CampaignBackend):
         column slicing, no merge re-concatenation.  Shards are produced in
         trial-major order, so the rows equal the merged :meth:`iter_shards`
         stream bit-for-bit; only the assembly cost differs.
+
+        ``config.max_workers > 1`` folds the chunks on a worker pool
+        (``mode`` as in the executor: ``"process"`` or ``"thread"``) —
+        bit-identical to serial thanks to the shard-keyed draw streams.
+        Passing explicit ``streams`` forces the serial path (workers
+        rebuild their streams from ``config.seed``).
         """
+        workers = int(getattr(config, "max_workers", 1) or 1)
+        if streams is None and workers > 1:
+            chunks = self._parallel_chunks(config, workers)
+            if len(chunks) > 1:
+                app = build_application(config)
+                instrumenter = RegionInstrumenter(
+                    region=app.region,
+                    application=app.name,
+                    metadata=self.metadata(config),
+                )
+                for columns in self._iter_parallel_columns(
+                    config, chunks, min(workers, len(chunks)), mode
+                ):
+                    instrumenter.record_columns(columns)
+                return instrumenter.dataset()
         app, rng, noise, shards = self._context(config, streams)
         instrumenter = RegionInstrumenter(
             region=app.region,
@@ -543,9 +841,135 @@ class CampaignTensorBackend(CampaignBackend):
         return instrumenter.dataset()
 
     # ------------------------------------------------------------------
+    # chunk-parallel drivers
+    # ------------------------------------------------------------------
+    def _parallel_chunk_size(self, n_shards: int, workers: int) -> int:
+        """Effective chunk size of a parallel run: never above
+        ``chunk_shards`` (the memory bound), shrunk so every worker gets at
+        least one chunk.  Any chunking is bit-identical, so splitting finer
+        only trades a little assembly overhead for parallel coverage."""
+        per_worker = -(-n_shards // workers)  # ceil
+        return max(1, min(self.chunk_shards, per_worker))
+
+    def _parallel_chunks(
+        self, config: "CampaignConfig", workers: int
+    ) -> List[List[Tuple[int, int]]]:
+        shards = [(spec.trial, spec.process) for spec in self.shard_specs(config)]
+        workers = max(1, min(int(workers), len(shards)))
+        size = self._parallel_chunk_size(len(shards), workers)
+        return [shards[start : start + size] for start in range(0, len(shards), size)]
+
+    def _map_chunks_pooled(self, tasks, workers: int, mode: str, *, discard=None):
+        """Run ``(fn, args)`` tasks on a pool; yield results in submission
+        order through a bounded in-flight window (~2 x workers).
+
+        A worker process that dies mid-task surfaces as a clear
+        ``RuntimeError`` (never a hang); closing the consumer cancels the
+        queued tasks at the next chunk boundary, and ``discard`` releases
+        any undelivered completed results (shared-memory segments, spilled
+        payload files) so nothing leaks.
+        """
+        pool = _make_pool(mode, workers)
+        task_iter = iter(tasks)
+        pending: deque = deque()
+
+        def submit_next() -> None:
+            for fn, args in itertools.islice(task_iter, 1):
+                pending.append(pool.submit(fn, *args))
+
+        try:
+            for _ in range(2 * workers):
+                submit_next()
+            while pending:
+                future = pending.popleft()
+                try:
+                    result = future.result()
+                except BrokenProcessPool as exc:
+                    raise RuntimeError(
+                        "a campaign chunk worker died mid-fold (the pool is "
+                        "broken); re-run serially (max_workers=1) to isolate "
+                        "the failing chunk"
+                    ) from exc
+                submit_next()
+                yield result
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+            for future in pending:
+                if future.cancelled():
+                    continue
+                try:
+                    result = future.result()
+                except Exception:
+                    continue
+                if discard is not None:
+                    discard(result)
+
+    def _iter_parallel_columns(
+        self, config: "CampaignConfig", chunks, workers: int, mode: str
+    ) -> Iterator[Dict[str, np.ndarray]]:
+        """Fold chunks on a pool; yield each chunk's column block in order."""
+        if mode == "thread":
+            tasks = [(_campaign_chunk_columns, (config, chunk)) for chunk in chunks]
+            yield from self._map_chunks_pooled(tasks, workers, mode)
+            return
+        tasks = [(_run_campaign_chunk_shm, (config, chunk)) for chunk in chunks]
+        for segment_name, descriptors in self._map_chunks_pooled(
+            tasks, workers, mode, discard=_discard_shm_result
+        ):
+            yield _unpack_blocks(segment_name, descriptors)[0]
+
+    def iter_shards_parallel(
+        self,
+        config: "CampaignConfig",
+        *,
+        workers: int,
+        mode: str = "process",
+        store=None,
+    ) -> Iterator[TimingShard]:
+        """Stream the campaign's shards with chunks folded on a worker pool.
+
+        Shards arrive in trial-major order (chunks are delivered in
+        submission order), bit-identical to :meth:`iter_shards`.  With a
+        ``store`` and process workers, each worker spills its chunk straight
+        into the store's on-disk group format and the parent merely adopts
+        the finished file — the sample arrays never cross the process
+        boundary, and the yielded shards are the store's zero-copy mmap
+        views.  Closing the iterator cancels queued chunks at the next
+        chunk boundary.
+        """
+        chunks = self._parallel_chunks(config, workers)
+        workers = max(1, min(int(workers), len(chunks)))
+        if workers <= 1 or len(chunks) <= 1:
+            for shard in self.iter_shards(config):
+                if store is not None:
+                    store.append(shard)
+                yield shard
+            return
+        per_shard = config.iterations * config.threads
+        if store is not None and mode == "process":
+            tasks = [
+                (_spill_campaign_chunk, (config, chunk, str(store.path), index))
+                for index, chunk in enumerate(chunks)
+            ]
+            for payload, entry in self._map_chunks_pooled(
+                tasks, workers, mode, discard=_discard_payload_result
+            ):
+                adopted = store.adopt_group(payload, entry)
+                yield from store.iter_group(adopted)
+            return
+        blocks = self._iter_parallel_columns(config, chunks, workers, mode)
+        for chunk, columns in zip(chunks, blocks):
+            shards = _slice_chunk_shards(chunk, columns, per_shard)
+            if store is not None:
+                store.extend(shards)
+            yield from shards
+
+    # ------------------------------------------------------------------
     # grouped execution (scenario-matrix sweeps, coalesced service jobs)
     # ------------------------------------------------------------------
-    def run_many(self, configs: List["CampaignConfig"]) -> List[TimingDataset]:
+    def run_many(
+        self, configs: List["CampaignConfig"], *, mode: str = "process"
+    ) -> List[TimingDataset]:
         """Run several campaigns, sharing tensor execution where compatible.
 
         Configs with equal :func:`campaign_group_key` concatenate their cost
@@ -555,6 +979,10 @@ class CampaignTensorBackend(CampaignBackend):
         order, each **bit-identical** to ``run(config)`` — all draws come
         from per-config purpose streams, only the deterministic fold and the
         assembly are shared.
+
+        Any config requesting ``max_workers > 1`` makes its group fold
+        chunks on a worker pool (``mode`` as in the executor) — grouped,
+        parallel and solo runs all produce identical bits.
         """
         configs = list(configs)
         groups: Dict[Tuple, List[int]] = {}
@@ -564,14 +992,59 @@ class CampaignTensorBackend(CampaignBackend):
         for indices in groups.values():
             if len(indices) == 1:
                 index = indices[0]
-                results[index] = self.run(configs[index])
+                results[index] = self.run(configs[index], mode=mode)
                 continue
-            shard_lists = self._run_group([configs[i] for i in indices])
+            group = [configs[i] for i in indices]
+            workers = max(
+                int(getattr(config, "max_workers", 1) or 1) for config in group
+            )
+            if workers > 1:
+                shard_lists = self._run_group_parallel(group, workers, mode)
+            else:
+                shard_lists = self._run_group(group)
             for index, shards in zip(indices, shard_lists):
                 results[index] = TimingDataset.merge(
                     shards, metadata=self.metadata(configs[index])
                 )
         return results  # type: ignore[return-value]
+
+    def _run_group_parallel(
+        self, group: List["CampaignConfig"], workers: int, mode: str
+    ) -> List[List[TimingShard]]:
+        """Chunk-parallel variant of :meth:`_run_group`: the concatenated
+        shard axis is chunked and each chunk's shared fold runs on a worker
+        (``_fold_group_chunk``) — the shard-keyed streams make the result
+        bit-identical to the serial grouped pass and to solo runs."""
+        entries = [
+            (config_index, (spec.trial, spec.process))
+            for config_index, config in enumerate(group)
+            for spec in self.shard_specs(config)
+        ]
+        workers = max(1, min(int(workers), len(entries)))
+        size = self._parallel_chunk_size(len(entries), workers)
+        chunks = [entries[start : start + size] for start in range(0, len(entries), size)]
+        if workers <= 1 or len(chunks) <= 1:
+            return self._run_group(group)
+        per_shard = group[0].iterations * group[0].threads
+        out: List[List[TimingShard]] = [[] for _ in group]
+        if mode == "thread":
+            tasks = [(_fold_group_chunk, (group, chunk)) for chunk in chunks]
+            for results in self._map_chunks_pooled(tasks, workers, mode):
+                for config_index, shards, columns in results:
+                    out[config_index].extend(
+                        _slice_chunk_shards(shards, columns, per_shard)
+                    )
+            return out
+        tasks = [(_fold_group_chunk_shm, (group, chunk)) for chunk in chunks]
+        for meta, segment_name, descriptors in self._map_chunks_pooled(
+            tasks, workers, mode, discard=lambda result: _discard_shm(result[1])
+        ):
+            blocks = _unpack_blocks(segment_name, descriptors)
+            for (config_index, shards), columns in zip(meta, blocks):
+                out[config_index].extend(
+                    _slice_chunk_shards(shards, columns, per_shard)
+                )
+        return out
 
     def _run_group(
         self, group: List["CampaignConfig"]

@@ -126,8 +126,19 @@ class ShardExecutor:
         specs = backend.shard_specs(config)
         workers = self._resolve_workers(config, len(specs))
         if not getattr(backend, "parallelizable", True):
-            # the backend's unit of work is the whole campaign (e.g. the
-            # tensor backend), so fanning shards out would re-run it per
+            if getattr(backend, "chunk_parallel", False) and workers > 1:
+                # chunk fan-out: the backend's unit of work is a whole shard
+                # chunk, which it folds on its own worker pool and streams
+                # back shard by shard in trial-major order (bit-identical to
+                # serial — the shard-keyed draw streams guarantee it)
+                parallel = backend.iter_shards_parallel(
+                    config, workers=workers, mode=self.mode
+                )
+                for spec, shard in zip(specs, parallel):
+                    yield spec, (shard if mapper is None else mapper(shard))
+                return
+            # the backend's unit of work is the whole campaign and it has no
+            # chunk-parallel path, so fanning shards out would re-run it per
             # shard; its iter_shards already streams incrementally
             workers = 1
         if workers <= 1:
@@ -187,9 +198,25 @@ class ShardExecutor:
         every shard via ``append`` the moment it arrives — the out-of-core
         spill path: with the campaign tensor backend each ``chunk_shards``
         block lands in the store as the chunk completes, so nothing ever
-        accumulates a shard list.  The consumer still sees every shard;
-        :meth:`run_to_store` is the variant that swallows the iterator.
+        accumulates a shard list.  When that backend runs chunk-parallel in
+        process mode, its workers spill their chunks *directly* into the
+        store's on-disk format and the parent only adopts the finished
+        files (the shards yielded here are the store's mmap views).  The
+        consumer still sees every shard; :meth:`run_to_store` is the
+        variant that swallows the iterator.
         """
+        if store is not None and not getattr(backend, "parallelizable", True):
+            workers = self._resolve_workers(config, len(backend.shard_specs(config)))
+            if getattr(backend, "chunk_parallel", False) and workers > 1:
+                # the backend handles the spill itself (direct worker->store
+                # in process mode, parent-side extend in thread mode)
+                for shard in backend.iter_shards_parallel(
+                    config, workers=workers, mode=self.mode, store=store
+                ):
+                    if on_shard is not None:
+                        on_shard(shard)
+                    yield shard
+                return
         for _, shard in self._iter_mapped(backend, config, None):
             if store is not None:
                 store.append(shard)

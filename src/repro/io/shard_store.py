@@ -71,6 +71,69 @@ def _shard_nbytes(shard: TimingShard) -> int:
     return int(sum(np.asarray(values).nbytes for values in shard.columns.values()))
 
 
+def write_group_payload(
+    path: PathLike, shards: Sequence[TimingShard]
+) -> Dict[str, object]:
+    """Write one group file's bytes at ``path``; return its manifest entry.
+
+    Exactly the format :meth:`ShardStore.flush` spills (16-byte magic, then
+    per sorted column name the shards' arrays concatenated into one raw
+    blob), minus the manifest bookkeeping — so a parallel chunk worker can
+    serialise its shards straight into the store's on-disk layout and the
+    parent merely adopts the finished file
+    (:meth:`ShardStore.adopt_group`) instead of round-tripping the arrays.
+    The entry's ``"file"`` field is left empty for the adopter to fill.
+    """
+    shards = list(shards)
+    if not shards:
+        raise ValueError("cannot write an empty group")
+    names = sorted(shards[0].columns)
+    for shard in shards[1:]:
+        if sorted(shard.columns) != names:
+            raise ValueError(
+                "all shards in a group must share the same column set; "
+                f"expected {names}, got {sorted(shard.columns)}"
+            )
+    columns_meta: List[Dict[str, object]] = []
+    shards_meta = [
+        {
+            "trial": int(shard.trial),
+            "process": None if shard.process is None else int(shard.process),
+            "n_samples": int(shard.n_samples),
+        }
+        for shard in shards
+    ]
+    with open(path, "wb") as handle:
+        handle.write(GROUP_MAGIC)
+        offset = len(GROUP_MAGIC)
+        for name in names:
+            parts = [
+                np.ascontiguousarray(np.asarray(shard.columns[name]))
+                for shard in shards
+            ]
+            dtype = parts[0].dtype
+            for part in parts[1:]:
+                if part.dtype != dtype:
+                    raise ValueError(
+                        f"column {name!r} mixes dtypes across shards "
+                        f"({dtype} vs {part.dtype})"
+                    )
+            nbytes = 0
+            for part in parts:
+                part.tofile(handle)
+                nbytes += part.nbytes
+            columns_meta.append({"name": name, "dtype": dtype.str, "offset": offset})
+            offset += nbytes
+        handle.flush()
+        os.fsync(handle.fileno())
+    return {
+        "file": "",
+        "n_samples": int(sum(s["n_samples"] for s in shards_meta)),
+        "shards": shards_meta,
+        "columns": columns_meta,
+    }
+
+
 class ShardStore:
     """Columnar spill-to-disk store of campaign shards.
 
@@ -206,68 +269,49 @@ class ShardStore:
             return
         groups: List[dict] = self._manifest["groups"]  # type: ignore[assignment]
         file_name = f"group-{len(groups):05d}.bin"
-        # column order is fixed per group: sorted names, every shard's array
-        # for a column concatenated into one raw blob
-        names = sorted(self._buffer[0].columns)
-        for shard in self._buffer[1:]:
-            if sorted(shard.columns) != names:
-                raise ValueError(
-                    "all shards in a store must share the same column set; "
-                    f"expected {names}, got {sorted(shard.columns)}"
-                )
-        columns_meta = []
-        shards_meta = [
-            {
-                "trial": int(shard.trial),
-                "process": None if shard.process is None else int(shard.process),
-                "n_samples": int(shard.n_samples),
-            }
-            for shard in self._buffer
-        ]
         tmp = self.path / f"{file_name}.tmp-{os.getpid()}"
         try:
-            with open(tmp, "wb") as handle:
-                handle.write(GROUP_MAGIC)
-                offset = len(GROUP_MAGIC)
-                for name in names:
-                    parts = [
-                        np.ascontiguousarray(np.asarray(shard.columns[name]))
-                        for shard in self._buffer
-                    ]
-                    dtype = parts[0].dtype
-                    for part in parts[1:]:
-                        if part.dtype != dtype:
-                            raise ValueError(
-                                f"column {name!r} mixes dtypes across shards "
-                                f"({dtype} vs {part.dtype})"
-                            )
-                    nbytes = 0
-                    for part in parts:
-                        part.tofile(handle)
-                        nbytes += part.nbytes
-                    columns_meta.append(
-                        {"name": name, "dtype": dtype.str, "offset": offset}
-                    )
-                    offset += nbytes
-                handle.flush()
-                os.fsync(handle.fileno())
+            entry = write_group_payload(tmp, self._buffer)
             os.replace(tmp, self.path / file_name)
         finally:
             tmp.unlink(missing_ok=True)
-        groups.append(
-            {
-                "file": file_name,
-                "n_samples": int(sum(s["n_samples"] for s in shards_meta)),
-                "shards": shards_meta,
-                "columns": columns_meta,
-            }
-        )
+        entry["file"] = file_name
+        groups.append(entry)
         self._manifest["total_samples"] = int(
             self._manifest["total_samples"]  # type: ignore[operator]
-        ) + sum(s["n_samples"] for s in shards_meta)
+        ) + int(entry["n_samples"])  # type: ignore[arg-type]
         self._buffer = []
         self._buffered_bytes = 0
         self._write_manifest()
+
+    def adopt_group(
+        self, payload: PathLike, entry: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Adopt a finished group payload file without copying its bytes.
+
+        ``payload`` must have been written with :func:`write_group_payload`
+        (a parallel chunk worker spills its chunk this way, into the store
+        directory so the rename stays on one filesystem) and ``entry`` is
+        the manifest entry that call returned.  Any buffered shards flush
+        first so append order is preserved, then the payload is renamed
+        into place as the next group file and its entry joins the manifest
+        — the same tmp-then-publish protocol :meth:`flush` uses, so readers
+        never observe a half-adopted group.  Returns the adopted entry
+        (pass it to :meth:`iter_group` for the group's mmap shard views).
+        """
+        self._check_writable()
+        self.flush()
+        groups: List[dict] = self._manifest["groups"]  # type: ignore[assignment]
+        file_name = f"group-{len(groups):05d}.bin"
+        os.replace(Path(payload), self.path / file_name)
+        adopted = dict(entry)
+        adopted["file"] = file_name
+        groups.append(adopted)
+        self._manifest["total_samples"] = int(
+            self._manifest["total_samples"]  # type: ignore[operator]
+        ) + int(adopted["n_samples"])  # type: ignore[arg-type]
+        self._write_manifest()
+        return adopted
 
     def finalize(self, metadata: Optional[Dict[str, object]] = None) -> "ShardStore":
         """Flush, stamp ``metadata`` and mark the store complete."""
@@ -313,6 +357,11 @@ class ShardStore:
                 },
             )
             start = stop
+
+    def iter_group(self, entry: Dict[str, object]) -> Iterator[TimingShard]:
+        """Zero-copy mmap shard views of one group (``entry`` as stored in
+        the manifest or returned by :meth:`adopt_group`)."""
+        return self._iter_group(entry)
 
     def iter_shards(self) -> Iterator[TimingShard]:
         """Stream every stored shard as zero-copy memory-mapped views.
@@ -445,6 +494,7 @@ def publish_store(staged: PathLike, final: PathLike) -> Path:
 __all__ = [
     "ShardStore",
     "publish_store",
+    "write_group_payload",
     "STORE_FORMAT_VERSION",
     "DEFAULT_SPILL_THRESHOLD_BYTES",
 ]

@@ -323,7 +323,9 @@ class ScenarioMatrix:
                 results[scenario.name] = session.run(use_cache=use_cache)
         if shared:
             backend = get_backend("campaign")
-            datasets = backend.run_many([session.config for _, session in shared])
+            datasets = backend.run_many(
+                [session.config for _, session in shared], mode=executor_mode
+            )
             for (name, session), dataset in zip(shared, datasets):
                 results[name] = session.adopt(dataset)
         return {scenario.name: results[scenario.name] for scenario in scenarios}

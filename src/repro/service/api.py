@@ -413,7 +413,9 @@ class CampaignService:
             return
         try:
             backend = get_backend("campaign")
-            datasets = backend.run_many([job.config for job in pending])
+            datasets = backend.run_many(
+                [job.config for job in pending], mode=self.executor_mode
+            )
             for job, dataset in zip(pending, datasets):
                 if job.cancel_requested.is_set():
                     post(job._mark_cancelled)

@@ -109,7 +109,7 @@ class RandomStreams:
 
 
 #: ``numpy.random.Generator`` drawing methods a :class:`PurposeSplitRNG`
-#: proxies.  Each (scope, method, occurrence) triple gets its own persistent
+#: proxies.  Each (scope, method, occurrence) triple seeds its own fresh
 #: generator, so the set only needs to cover what the simulation draws.
 _PROXIED_METHODS = frozenset(
     {
@@ -131,34 +131,37 @@ _PROXIED_METHODS = frozenset(
 
 
 class PurposeSplitRNG:
-    """A drop-in ``Generator`` facade that splits draws by *purpose*.
+    """A drop-in ``Generator`` facade that keys draws by absolute purpose.
 
     The whole-campaign tensor backend samples every (trial, process) shard
     from one pass over (n_shards, n_iterations, n_threads) arrays — possibly
-    in several shard chunks to bound peak memory.  For chunked and unchunked
-    executions to be **bit-identical**, each logical draw site must consume
-    from its own generator, so that splitting a draw along the leading shard
-    axis merely continues the same element stream (``numpy`` generators draw
-    element-sequentially: a size-``k1`` draw followed by a size-``k2`` draw
-    equals one size-``k1+k2`` draw, and zero-size draws consume nothing).
-
-    Draw sites are identified by ``(scope path, method name, occurrence)``:
+    in several shard chunks to bound peak memory, possibly with the chunks
+    folded by different worker processes.  For every chunking *and* any
+    worker assignment to be **bit-identical**, a draw's value must depend on
+    nothing but its identity: draw sites are keyed by ``(scope path, method
+    name, occurrence)`` and served a **fresh** generator from the underlying
+    :class:`RandomStreams` seed path on every occurrence — no generator
+    state survives between draw sites, so a chunk's draws depend only on
+    which shards it contains, never on what ran before it (or in a sibling
+    worker).
 
     * :meth:`scope` pushes a name onto the scope stack (the backend scopes
-      stages like ``"costs"``/``"noise"``, the noise model scopes each
-      source index);
-    * every proxied method call is numbered *within* its scope by method
-      name, and the numbering resets each time the scope is re-entered —
-      so the second ``poisson`` of a source maps to the same stream on
-      every chunk.
+      stages like ``"costs"``/``"noise"``, the apps scope each shard, the
+      noise model scopes each source index);
+    * every proxied method call is numbered *within* its scope entry by
+      method name, and the numbering resets each time the scope is
+      re-entered — so the second ``poisson`` of a source maps to the same
+      stream on every chunking.
 
-    The triple keys a persistent generator in the underlying
-    :class:`RandomStreams`, which survives across chunk boundaries.  This
-    makes any partition of the shard axis bit-identical to a single pass,
-    provided draw sites keep shards on the leading axis and execute in a
-    static order per scope entry (data-dependent *sizes* are fine; skipping
-    a draw entirely is only safe when the skipped draw would have consumed
-    zero elements).
+    Because keys are stateless, any two scope entries with the same path
+    would *replay* identical values — so every shard-varying draw must sit
+    inside an absolute ``("shard", trial, process)`` scope, which makes the
+    path unique per shard.  :meth:`generator` enforces this: a proxied draw
+    outside a shard scope raises ``RuntimeError``, catching campaign draw
+    sites that would silently correlate shards (the whole-tensor draws the
+    pre-parallel backend used).  Data-dependent draw *sizes* are fine, as is
+    skipping draws entirely — per-shard keys never shift a neighbour's
+    stream.
     """
 
     def __init__(self, streams: RandomStreams, *scope) -> None:
@@ -186,14 +189,21 @@ class PurposeSplitRNG:
             self._counts.pop()
 
     def generator(self, method: str) -> np.random.Generator:
-        """The persistent generator for ``method``'s next occurrence here."""
+        """A fresh generator keyed by ``method``'s occurrence in this scope."""
+        if not any(part and part[0] == "shard" for part in self._scope):
+            raise RuntimeError(
+                "PurposeSplitRNG draw outside a ('shard', trial, process) "
+                "scope: stateless shard-keyed streams would replay the same "
+                "values for every shard.  Wrap the draw site in "
+                "maybe_scope(rng, 'shard', trial, process)."
+            )
         counts = self._counts[-1]
         occurrence = counts.get(method, 0)
         counts[method] = occurrence + 1
         key: Tuple = ()
         for part in self._scope:
             key += part
-        return self._streams.get(*key, method, occurrence)
+        return self._streams.fresh(*key, method, occurrence)
 
     def __getattr__(self, name: str):
         if name in _PROXIED_METHODS:

@@ -14,11 +14,17 @@ module pins exactly:
   continuation, so chunking can never move a digest);
 * grouped execution (``run_many``, the scenario-matrix sharing path, the
   service's job grouping) → bit-identical to solo runs;
-* the executor runs the backend serially regardless of ``max_workers``
-  (``parallelizable = False``).
+* chunk-parallel execution (``max_workers > 1`` folds whole shard chunks
+  on a worker pool, returning columns through shared memory) → bit-identical
+  to serial for every worker count × chunk size, solo and grouped, in
+  memory and spilled to a :class:`~repro.io.shard_store.ShardStore`;
+* a worker that dies mid-fold surfaces as a clear ``RuntimeError`` (never a
+  hang) and leaks no shared-memory segments.
 """
 
 import hashlib
+import multiprocessing
+import os
 
 import numpy as np
 import pytest
@@ -38,21 +44,27 @@ from repro.scenarios.scenario import ScenarioMatrix
 
 # sha256 of the dense compute_times_s array of CampaignConfig.smoke(app)
 # (seed 7, 1 trial x 2 processes x 12 iterations x 16 threads) on the
-# campaign backend, recorded when the backend was introduced.
+# campaign backend.  Re-recorded ONCE when draw streams moved from
+# contiguous continuation to absolute shard keying (the change that makes
+# chunk-parallel execution bit-identical at any worker count): every
+# shard-varying draw now sits under its ("shard", trial, process) scope,
+# which restructured the whole-tensor jitter/noise/straggler draws into
+# per-shard draws.  Serial == parallel == any chunk_shards from here on, so
+# these digests are stable against any future chunking/worker change.
 CAMPAIGN_SMOKE_DIGESTS = {
-    "minife": "6723f4350105746d1037c687cc736131a250f7e574a846403a3086864d226e9f",
-    "minimd": "e9cf067470669c54b0099ce8c0aa487a90a06eab6dcfc86446ee4415744c2cdb",
-    "miniqmc": "9309f7e3d4b8470a568168aee2a07780736727da5ba787afe4e080d9db6ada22",
+    "minife": "e00daed36dd885b6da7460460091db6425d155af7791046d27c19d1e14e584f2",
+    "minimd": "6600a86f66463499c72829eb7b89ebdea5942f73199c651fe8a9c39c08de7cfb",
+    "miniqmc": "51581b1ada86e420bc79754122affab8dbcb824980e8040807abd701e3724491",
 }
 
 # Same smoke recipe under explicit work-queue schedule clauses (MiniFE is
-# the app whose 200-pencil loop makes the clause matter), recorded when the
-# backend was introduced.  The "dynamic,4" entry doubles as the digest of
-# the ``manzano-campaign-batched`` scenario at smoke scale.
+# the app whose 200-pencil loop makes the clause matter); re-recorded with
+# the shard-keyed streams above.  The "dynamic,4" entry doubles as the
+# digest of the ``manzano-campaign-batched`` scenario at smoke scale.
 CAMPAIGN_SCHEDULE_SMOKE_DIGESTS = {
-    ("minife", "dynamic"): "9594dc8d9f45a6cc7666ae1d869442fd756a0f7a3894ff449ab5c7f39082eb73",
-    ("minife", "dynamic,4"): "75609f3ef9a227b5b3b2166b234cb1fac52eb22ad4d13f3e3e3f109a92105b71",
-    ("minife", "guided"): "6dfd35d0edd71c3246e2808b35dfc8517d921b3faeee39ca437cc313761ce443",
+    ("minife", "dynamic"): "72af0d3efc013179108eb566e8d875bfbc1d124e0dcb2bc673fe896fa1733ff0",
+    ("minife", "dynamic,4"): "2af151e1a05561807064884cd19332f17de63b4c733fbed90525856cd231d552",
+    ("minife", "guided"): "6247d45687080ced6825e53e91189a0131d685e602bfae911a6b83dfbede864b",
 }
 
 APPLICATIONS = sorted(CAMPAIGN_SMOKE_DIGESTS)
@@ -78,6 +90,7 @@ class TestRegistration:
         backend = get_backend("campaign")
         assert backend.name == "campaign"
         assert backend.parallelizable is False
+        assert backend.chunk_parallel is True
         assert backend.chunk_shards == CampaignTensorBackend.DEFAULT_CHUNK_SHARDS
 
     def test_metadata_carries_backend_label(self):
@@ -164,17 +177,47 @@ class TestChunkInvariance:
         assert fast.metadata == merged.metadata
 
 
-class TestSerialExecution:
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - tmpfs-less platforms
+        return set()
+
+
+class TestParallelExecution:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
     @pytest.mark.parametrize("max_workers", [2, 4])
-    def test_executor_forces_serial_for_campaign_backend(self, max_workers):
-        # parallelizable=False: the executor must not fan the campaign's
-        # shards across a pool (each worker would re-run the whole tensor
-        # pass); max_workers > 1 stays bit-identical to the serial run
-        serial = CampaignSession(_smoke("minife")).run().dataset
+    def test_executor_chunk_parallel_is_bit_identical(self, max_workers, mode):
+        # parallelizable=False but chunk_parallel=True: the executor must
+        # not fan individual shards across a pool (each worker would re-run
+        # the whole tensor pass) — instead the backend folds whole shard
+        # chunks on its own pool, bit-identically to the serial run
+        serial = CampaignSession(_smoke("minife", trials=3)).run().dataset
         parallel = CampaignSession(
-            _smoke("minife", max_workers=max_workers), executor_mode="thread"
+            _smoke("minife", trials=3, max_workers=max_workers),
+            executor_mode=mode,
         ).run(use_cache=False).dataset
         assert np.array_equal(serial.compute_times_s, parallel.compute_times_s)
+
+    def test_executor_routes_through_the_chunk_parallel_path(self, monkeypatch):
+        calls = {"parallel": 0}
+        original = CampaignTensorBackend.iter_shards_parallel
+
+        def counting(self, config, **kwargs):
+            calls["parallel"] += 1
+            return original(self, config, **kwargs)
+
+        monkeypatch.setattr(
+            CampaignTensorBackend, "iter_shards_parallel", counting
+        )
+        shards = list(ShardExecutor(max_workers=4, mode="thread").iter_shards(
+            get_backend("campaign"), _smoke("minife", trials=3, max_workers=4)
+        ))
+        assert calls["parallel"] == 1
+        assert len(shards) == 6
 
     def test_executor_streams_per_process_shards(self):
         config = _smoke("minimd", max_workers=4)
@@ -182,6 +225,94 @@ class TestSerialExecution:
             get_backend("campaign"), config
         ))
         assert [(s.trial, s.process) for s in shards] == [(0, 0), (0, 1)]
+
+
+class TestParallelBitIdentity:
+    """The acceptance matrix: workers x chunk_shards, solo and grouped,
+    in memory and spilled to a store — every cell bit-identical to the
+    plain serial run."""
+
+    @pytest.mark.parametrize("chunk_shards", [1, 3, 8])
+    @pytest.mark.parametrize("max_workers", [1, 2, 4])
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_solo_run_matrix(self, max_workers, chunk_shards, mode):
+        if mode == "process" and not _HAS_FORK:
+            pytest.skip("needs the fork start method")
+        serial = get_backend("campaign").run(_smoke("minife", trials=3))
+        backend = CampaignTensorBackend(chunk_shards=chunk_shards)
+        parallel = backend.run(
+            _smoke("minife", trials=3, max_workers=max_workers), mode=mode
+        )
+        for name in serial.columns:
+            assert np.array_equal(serial.column(name), parallel.column(name)), name
+
+    @pytest.mark.skipif(not _HAS_FORK, reason="needs the fork start method")
+    @pytest.mark.parametrize("chunk_shards", [1, 3, 8])
+    @pytest.mark.parametrize("max_workers", [1, 2, 4])
+    def test_store_spill_matrix(self, tmp_path, max_workers, chunk_shards):
+        # process workers spill their chunks straight into the store's
+        # on-disk group format; the live stream and the finalized store
+        # must both match the serial run
+        from repro.core.timing import TimingDataset
+        from repro.io.shard_store import ShardStore
+
+        serial = get_backend("campaign").run(_smoke("minife", trials=3))
+        backend = CampaignTensorBackend(chunk_shards=chunk_shards)
+        store = ShardStore(tmp_path / "store", mode="w", spill_threshold_bytes=1)
+        live = TimingDataset.merge(backend.iter_shards_parallel(
+            _smoke("minife", trials=3, max_workers=max_workers),
+            workers=max_workers,
+            mode="process",
+            store=store,
+        ))
+        assert np.array_equal(serial.compute_times_s, live.compute_times_s)
+        store.finalize()
+        reread = TimingDataset.merge(
+            ShardStore(tmp_path / "store", mode="r").iter_shards()
+        )
+        assert np.array_equal(serial.compute_times_s, reread.compute_times_s)
+
+    @pytest.mark.skipif(not _HAS_FORK, reason="needs the fork start method")
+    @pytest.mark.parametrize("chunk_shards", [1, 3, 8])
+    @pytest.mark.parametrize("max_workers", [1, 2, 4])
+    def test_grouped_run_many_matrix(self, max_workers, chunk_shards):
+        backend = CampaignTensorBackend(chunk_shards=chunk_shards)
+        grouped = backend.run_many(
+            [
+                _smoke("minife", trials=2, max_workers=max_workers),
+                _smoke("minife", trials=2, seed=99, max_workers=max_workers),
+            ],
+            mode="process",
+        )
+        solos = [
+            get_backend("campaign").run(_smoke("minife", trials=2)),
+            get_backend("campaign").run(_smoke("minife", trials=2, seed=99)),
+        ]
+        for dataset, solo in zip(grouped, solos):
+            for name in solo.columns:
+                assert np.array_equal(dataset.column(name), solo.column(name)), name
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="needs the fork start method")
+class TestWorkerCrash:
+    def test_dead_worker_raises_and_leaks_no_shared_memory(self, monkeypatch):
+        # a worker killed mid-fold must surface as a RuntimeError (not a
+        # hang) and leave /dev/shm untouched — segments are only created
+        # after a fold succeeds
+        import repro.experiments.backends as backends_module
+
+        def die_mid_fold(config, chunk):
+            os._exit(1)
+
+        monkeypatch.setattr(
+            backends_module, "_campaign_chunk_columns", die_mid_fold
+        )
+        before = _shm_entries()
+        with pytest.raises(RuntimeError, match="worker died"):
+            get_backend("campaign").run(
+                _smoke("minife", trials=3, max_workers=2), mode="process"
+            )
+        assert _shm_entries() - before == set()
 
 
 class TestGroupedExecution:
@@ -215,13 +346,13 @@ class TestGroupedExecution:
         original_run_many = CampaignTensorBackend.run_many
         original_run = CampaignTensorBackend.run
 
-        def counting_run_many(self, configs):
+        def counting_run_many(self, configs, **kwargs):
             calls["run_many"] += 1
-            return original_run_many(self, configs)
+            return original_run_many(self, configs, **kwargs)
 
-        def counting_run(self, config, streams=None):
+        def counting_run(self, config, streams=None, **kwargs):
             calls["run"] += 1
-            return original_run(self, config, streams)
+            return original_run(self, config, streams, **kwargs)
 
         monkeypatch.setattr(CampaignTensorBackend, "run_many", counting_run_many)
         monkeypatch.setattr(CampaignTensorBackend, "run", counting_run)
