@@ -17,15 +17,37 @@ Qualitative claims asserted before timing:
   the same size when the campaign grows 3x in shard count — peak
   accumulator memory is independent of the number of shards, while the
   dataset the merged path must hold grows linearly.
+
+The columnar sweep (``analysis-columnar`` group) additionally times the
+per-shard streaming fold against the columnar group-level fast path on a
+paper-scale campaign, per pass set, tagging each ``bench.json`` entry with
+``analysis_path``/``analysis_passes``/``samples_per_second`` for the CI
+benchmark table; ``test_columnar_analysis_speedup_guard`` is the ≥3x
+regression guard on the pure group-fold pass set.
 """
 
 from __future__ import annotations
 
 import pickle
+import time
 
+import numpy as np
 import pytest
 
-from repro.analysis import AnalysisContext, ShardAnalyzer, resolve_analyses
+from repro.analysis import (
+    AnalysisContext,
+    EarlybirdPass,
+    HistogramPass,
+    LaggardsPass,
+    NormalityPass,
+    PercentilesPass,
+    ReclaimablePass,
+    ShardAnalyzer,
+    resolve_analyses,
+    run_analyses,
+    run_columnar_analyses,
+)
+from repro.core.aggregation import ShardSlice
 from repro.core.analyzer import ThreadTimingAnalyzer
 from repro.experiments.backends import get_backend
 from repro.experiments.config import CampaignConfig
@@ -33,6 +55,68 @@ from repro.experiments.session import CampaignSession
 
 #: the report-producing passes (earlybird excluded to keep both sides equal)
 ANALYSES = ("percentiles", "histogram", "laggards", "reclaimable", "normality")
+
+#: guard threshold: the columnar fast path must stay at least this much
+#: faster than the per-shard streaming fold on the group-fold pass set
+MIN_COLUMNAR_ANALYSIS_SPEEDUP = 3.0
+
+#: the pass sets of the per-shard vs columnar sweep.  ``group-fold`` is the
+#: subset whose per-shard cost is pure per-group Python dispatch — the cost
+#: the columnar kernel eliminates; ``report`` is the full report set, whose
+#: percentile/laggard/normality passes are dominated by order statistics
+#: (``np.partition``, the batch normality battery) that both paths compute
+#: identically.  ``NormalityPass(application_iteration=False)`` on both
+#: sides: the iteration-count finalize is a fixed shared cost that would
+#: otherwise blur the fold comparison.
+SWEEP_PASSES = {
+    "group-fold": lambda: [EarlybirdPass(), ReclaimablePass(), HistogramPass()],
+    "report": lambda: [
+        PercentilesPass(),
+        HistogramPass(),
+        LaggardsPass(),
+        ReclaimablePass(),
+        NormalityPass(application_iteration=False),
+    ],
+}
+
+
+def _paper_scale_inputs():
+    """Materialized shards, the equivalent column block, and the context of
+    a paper-scale MiniFE campaign (10 trials x 8 processes x 200 x 48)."""
+    config = CampaignConfig(
+        application="minife", trials=10, processes=8, iterations=200,
+        threads=48, seed=1, backend="campaign",
+    )
+    backend = get_backend(config.backend)
+    shards = list(backend.iter_shards(config))
+    columns = {
+        name: np.concatenate([np.asarray(shard.columns[name]) for shard in shards])
+        for name in shards[0].columns
+    }
+    slices = []
+    start = 0
+    for shard in shards:
+        slices.append(
+            ShardSlice(shard.trial, shard.process, start, start + shard.n_samples)
+        )
+        start += shard.n_samples
+    context = AnalysisContext.from_config(
+        config, exact=True, metadata=backend.metadata(config)
+    )
+    return shards, (columns, slices), context
+
+
+@pytest.fixture(scope="module")
+def paper_inputs():
+    return _paper_scale_inputs()
+
+
+def _fold(path: str, inputs, passes) -> None:
+    shards, block, context = inputs
+    if path == "per-shard":
+        run_analyses(iter(shards), passes, context)
+    else:
+        run_columnar_analyses(iter([block]), passes, context)
 
 
 def _config(trials: int = 2) -> CampaignConfig:
@@ -125,3 +209,58 @@ def test_accumulator_memory_independent_of_shard_count(benchmark):
     # in-memory path must hold (5 int/float columns x 8 bytes per sample)
     merged_dataset_bytes = large.samples_per_application * 8 * 5
     assert large_bytes < 0.1 * merged_dataset_bytes
+
+
+@pytest.mark.benchmark(group="analysis-columnar")
+@pytest.mark.parametrize("passes", sorted(SWEEP_PASSES))
+@pytest.mark.parametrize("path", ["per-shard", "columnar"])
+def test_analysis_fold_throughput(benchmark, paper_inputs, path, passes):
+    """Per-shard vs columnar analysis samples/sec on a paper-scale campaign.
+
+    The analysis fold alone (shards and the column block are materialized
+    once per module), so the entry isolates the consumer the columnar
+    kernel replaced; ``analysis_path``/``analysis_passes`` in
+    ``extra_info`` feed the CI benchmark job's per-path table.
+    """
+    shards, _, _ = paper_inputs
+    n_samples = sum(shard.n_samples for shard in shards)
+    benchmark(_fold, path, paper_inputs, SWEEP_PASSES[passes]())
+    benchmark.extra_info["analysis_path"] = path
+    benchmark.extra_info["analysis_passes"] = passes
+    benchmark.extra_info["samples_per_second"] = (
+        n_samples / benchmark.stats.stats.min
+    )
+
+
+def test_columnar_analysis_speedup_guard():
+    """Regression guard for the columnar group-fold kernel: on a
+    paper-scale MiniFE campaign the columnar path must stay >= 3x the
+    per-shard streaming fold on the ``group-fold`` pass set
+    (earlybird + reclaimable + histogram).  That set is the guard's recipe
+    because its per-shard cost is exactly what the kernel eliminates — one
+    Python dispatch and group-by per shard per pass — so a fold regression
+    shows up undiluted (measured headroom ~4-5x).  The order-statistic
+    passes (percentiles / laggards / normality) spend most of their time in
+    ``np.partition`` and the batch normality battery, identical work on
+    both paths, so including them could mask a real fold regression behind
+    shared statistics cost (their per-path numbers are still recorded by
+    ``test_analysis_fold_throughput``'s ``report`` sweep)."""
+    inputs = _paper_scale_inputs()
+
+    def best(path: str, repeats: int = 3) -> float:
+        _fold(path, inputs, SWEEP_PASSES["group-fold"]())  # warm-up
+        elapsed = np.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _fold(path, inputs, SWEEP_PASSES["group-fold"]())
+            elapsed = min(elapsed, time.perf_counter() - start)
+        return elapsed
+
+    per_shard, columnar = best("per-shard"), best("columnar")
+    speedup = per_shard / columnar
+    assert speedup >= MIN_COLUMNAR_ANALYSIS_SPEEDUP, (
+        f"columnar analysis fold is only {speedup:.1f}x the per-shard "
+        f"streaming path ({per_shard:.3f}s vs {columnar:.3f}s on the "
+        f"group-fold pass set); the group-level kernel has regressed below "
+        f"the {MIN_COLUMNAR_ANALYSIS_SPEEDUP}x guard"
+    )

@@ -40,9 +40,12 @@ from repro.analysis.base import (
 )
 from repro.analysis.engine import (
     AnalysisResults,
+    ColumnarAnalyzer,
     ShardAnalyzer,
+    product_payload,
     run_analyses,
     run_campaign_analyses,
+    run_columnar_analyses,
 )
 from repro.analysis.passes import (
     DEFAULT_EARLYBIRD_MAX_GROUPS,
@@ -62,6 +65,7 @@ __all__ = [
     "AnalysisContext",
     "AnalysisPass",
     "AnalysisResults",
+    "ColumnarAnalyzer",
     "ShardAnalyzer",
     "analysis_title",
     "available_analyses",
@@ -69,8 +73,10 @@ __all__ = [
     "register_analysis",
     "resolve_analyses",
     "unregister_analysis",
+    "product_payload",
     "run_analyses",
     "run_campaign_analyses",
+    "run_columnar_analyses",
     "assemble_feasibility_report",
     "REPORT_ANALYSES",
     "DEFAULT_SKETCH_CAPACITY",

@@ -44,6 +44,7 @@ from typing import (
 
 import numpy as np
 
+from repro.core.aggregation import ShardSlice, release_shard_groups
 from repro.core.timing import TimingDataset, TimingShard
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
@@ -136,7 +137,7 @@ class AnalysisContext:
     def group_indices(self, keys: Sequence[Tuple[int, int, int]]) -> np.ndarray:
         """Global process-iteration group index of each (trial, process,
         iteration) key, matching the dense aggregation's row order."""
-        if not keys:
+        if len(keys) == 0:
             return np.empty(0, dtype=np.int64)
         arr = np.asarray(keys, dtype=np.int64)
         t = np.searchsorted(np.asarray(self.trials), arr[:, 0])
@@ -175,6 +176,64 @@ class AnalysisPass(ABC):
     @abstractmethod
     def finalize(self, state: Any, context: AnalysisContext) -> Any:
         """Turn the merged state into the pass's product."""
+
+    # ------------------------------------------------------------------
+    # columnar fast path
+    # ------------------------------------------------------------------
+    def accumulate_columns_split(
+        self,
+        columns: Mapping[str, np.ndarray],
+        slices: Sequence[ShardSlice],
+        context: AnalysisContext,
+    ) -> list:
+        """Per-shard partial states from one multi-shard column block.
+
+        A *column block* is the flat timing columns of several shards
+        concatenated in serial shard order, addressed by one
+        :class:`~repro.core.aggregation.ShardSlice` per shard.  The
+        contract: element ``k`` of the returned list must equal the state
+        ``accumulate(prepare(context), shard_k, context)`` would produce
+        for the corresponding shard — the engine reduces columnar partials
+        with the same merge fold as the shard-streaming path, which is
+        what keeps the two paths bit-identical (exact mode) /
+        identical-state (sketch mode) for any chunking.
+
+        This generic fallback slices the block into shards and replays the
+        per-shard protocol; the built-in passes override it with a single
+        vectorised group-by over the whole block.
+        """
+        states = []
+        for sl in slices:
+            shard = TimingShard(
+                trial=sl.trial,
+                process=sl.process,
+                columns={
+                    name: arr[sl.start : sl.stop] for name, arr in columns.items()
+                },
+            )
+            try:
+                states.append(self.accumulate(self.prepare(context), shard, context))
+            finally:
+                release_shard_groups(shard)
+        return states
+
+    def accumulate_columns(
+        self,
+        state: Any,
+        columns: Mapping[str, np.ndarray],
+        slices: Sequence[ShardSlice],
+        context: AnalysisContext,
+    ) -> Any:
+        """Fold a whole column block into ``state``.
+
+        Merge-of-splits convenience over
+        :meth:`accumulate_columns_split`; drivers that must preserve
+        per-shard partial granularity (the engine's reducers) call the
+        split form directly.
+        """
+        for partial in self.accumulate_columns_split(columns, slices, context):
+            state = self.merge(state, partial)
+        return state
 
     # ------------------------------------------------------------------
     def run(

@@ -83,11 +83,37 @@ class AnalysisResults(Mapping):
             self, self.context, include_earlybird=include_earlybird
         )
 
+    def as_payload(self) -> Dict[str, Any]:
+        """JSON-friendly view of every product, keyed by pass name.
+
+        The shape the CLI writes to ``analyses_<app>.json`` and the service
+        serves from ``GET /jobs/<id>/analyses``.
+        """
+        return {
+            name: product_payload(self._products[name])
+            for name in sorted(self._products)
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"AnalysisResults({self.application!r}, "
             f"passes={sorted(self._products)})"
         )
+
+
+def product_payload(product: Any) -> Any:
+    """JSON-friendly view of one analysis-pass product.
+
+    Products expose ``to_dict``/``as_dict`` (preferred), are plain dicts
+    already, or fall back to their ``repr``.
+    """
+    for attr in ("to_dict", "as_dict"):
+        method = getattr(product, attr, None)
+        if callable(method):
+            return method()
+    if isinstance(product, dict):
+        return product
+    return repr(product)
 
 
 class ShardAnalyzer:
@@ -117,6 +143,53 @@ class ShardAnalyzer:
             # rather than waiting for the shard itself to be collected (the
             # session may keep its shards cached)
             release_shard_groups(shard)
+
+
+class ColumnarAnalyzer:
+    """Picklable block mapper: per-shard partials from one column block.
+
+    The columnar analogue of :class:`ShardAnalyzer`: instead of folding one
+    shard at a time it hands each pass a whole multi-shard column block
+    (``columns`` plus one :class:`~repro.core.aggregation.ShardSlice` per
+    shard) and transposes the per-pass split results into one
+    ``{pass_name: state}`` partial per shard.  Those partials feed the same
+    merge fold as the shard-streaming path — the structural guarantee behind
+    the bit-identity contract.
+    """
+
+    def __init__(
+        self, passes: Sequence[AnalysisPass], context: AnalysisContext
+    ) -> None:
+        self.passes = tuple(passes)
+        self.context = context
+
+    def __call__(self, columns, slices) -> list:
+        split = {
+            p.name: p.accumulate_columns_split(columns, slices, self.context)
+            for p in self.passes
+        }
+        return [
+            {name: states[k] for name, states in split.items()}
+            for k in range(len(slices))
+        ]
+
+
+def run_columnar_analyses(
+    blocks: Iterable[Tuple[Mapping[str, Any], Sequence[Any]]],
+    analyses: Union[None, str, Iterable[Union[str, AnalysisPass]]],
+    context: AnalysisContext,
+) -> AnalysisResults:
+    """Fold an iterable of ``(columns, slices)`` blocks through passes.
+
+    Blocks must arrive in serial (trial-major) shard order, like the shard
+    iterables of :func:`run_analyses` — the per-shard partials of each block
+    then merge in exactly the order the shard-streaming path would have
+    produced, keeping sketch states identical as well.
+    """
+    passes = resolve_analyses(analyses)
+    mapper = ColumnarAnalyzer(passes, context)
+    partials = (partial for block in blocks for partial in mapper(*block))
+    return _reduce_partials(passes, partials, context)
 
 
 def _reduce_partials(
@@ -160,9 +233,15 @@ def run_campaign_analyses(
 ) -> AnalysisResults:
     """Execute a campaign and stream its shards through analysis passes.
 
-    Uses :meth:`~repro.experiments.executor.ShardExecutor.map_shards`, so
-    with ``config.max_workers > 1`` the per-shard accumulation happens in
-    the workers and only the per-pass partial states return to the parent.
+    Backends with a chunk-block path (the campaign tensor backend) take the
+    fused columnar route: each chunk's column block folds into per-pass
+    partials right where it was produced —
+    :meth:`~repro.experiments.executor.ShardExecutor.map_blocks` — so with
+    ``config.max_workers > 1`` only partials cross the process boundary and
+    no shards are ever assembled.  Everything else goes through
+    :meth:`~repro.experiments.executor.ShardExecutor.map_shards`, which
+    likewise accumulates worker-side.  Both routes reduce one partial per
+    shard in serial order, so their results are bit-identical.
     """
     from repro.experiments.executor import ShardExecutor
 
@@ -173,6 +252,14 @@ def run_campaign_analyses(
         )
     if executor is None:
         executor = ShardExecutor()
+    blocks = None
+    if hasattr(executor, "map_blocks"):
+        blocks = executor.map_blocks(
+            backend, config, ColumnarAnalyzer(passes, context)
+        )
+    if blocks is not None:
+        partials = (partial for chunk in blocks for partial in chunk)
+        return _reduce_partials(passes, partials, context)
     mapper = ShardAnalyzer(passes, context)
     partials = (
         partial for _, partial in executor.map_shards(backend, config, mapper)

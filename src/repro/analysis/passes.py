@@ -35,13 +35,18 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.base import AnalysisContext, AnalysisPass, register_analysis
-from repro.core.aggregation import AggregationLevel, aggregate_shard
+from repro.core.aggregation import (
+    AggregationLevel,
+    aggregate_shard,
+    campaign_block_groups,
+)
 from repro.core.earlybird import EarlyBirdModel
 from repro.core.laggard import (
     DEFAULT_LAGGARD_THRESHOLD_S,
     DEFAULT_WIDE_IQR_S,
     IterationClass,
     LaggardAnalysis,
+    group_laggard_codes,
     group_laggard_metrics,
 )
 from repro.core.normality import stratified_subsample
@@ -99,6 +104,29 @@ class PercentilesPass(AnalysisPass):
                 sketch.update(row)
         return state
 
+    def accumulate_columns_split(self, columns, slices, context):
+        block = campaign_block_groups(columns, slices)
+        if block is None:
+            return super().accumulate_columns_split(columns, slices, context)
+        matrix, iterations = block
+        iters = [int(i) for i in iterations]
+        states = []
+        for s, sl in enumerate(slices):
+            key = sl.sort_key
+            rows = matrix[s]
+            if context.exact:
+                state = {
+                    iteration: [(key, rows[i])]
+                    for i, iteration in enumerate(iters)
+                }
+            else:
+                state = self.prepare(context)
+                for i, iteration in enumerate(iters):
+                    sketch = state[iteration] = PercentileSketch(self.sketch_capacity)
+                    sketch.update(rows[i])
+            states.append(state)
+        return states
+
     def merge(self, state, other):
         for iteration, payload in other.items():
             mine = state.get(iteration)
@@ -116,15 +144,28 @@ class PercentilesPass(AnalysisPass):
             raise ValueError("percentiles pass saw no shards")
         levels = list(self.percentiles)
         values = np.empty((len(levels), len(iterations)))
-        for col, iteration in enumerate(iterations):
-            payload = state[iteration]
-            if isinstance(payload, list):
-                # exact: shard segments re-assembled in serial order give the
-                # dense path's per-iteration row, bit for bit
-                row_ms = np.concatenate(_sorted_segments(payload)) * 1.0e3
-                values[:, col] = percentile_table(row_ms, levels, axis=-1)
+        payloads = [state[iteration] for iteration in iterations]
+        if all(isinstance(payload, list) for payload in payloads):
+            # exact: shard segments re-assembled in serial order give the
+            # dense path's per-iteration rows, bit for bit; regular campaigns
+            # (equal-size iteration groups) take one vectorized percentile
+            # call over the stacked matrix instead of one call per iteration
+            rows = [
+                np.concatenate(_sorted_segments(payload)) * 1.0e3
+                for payload in payloads
+            ]
+            if len({len(row) for row in rows}) == 1:
+                values[:] = percentile_table(np.stack(rows), levels, axis=-1)
             else:
-                values[:, col] = payload.quantile(levels) * 1.0e3
+                for col, row_ms in enumerate(rows):
+                    values[:, col] = percentile_table(row_ms, levels, axis=-1)
+        else:
+            for col, payload in enumerate(payloads):
+                if isinstance(payload, list):
+                    row_ms = np.concatenate(_sorted_segments(payload)) * 1.0e3
+                    values[:, col] = percentile_table(row_ms, levels, axis=-1)
+                else:
+                    values[:, col] = payload.quantile(levels) * 1.0e3
         return PercentileSeries(
             iterations=np.arange(len(iterations)),
             percentiles=tuple(levels),
@@ -150,6 +191,15 @@ class HistogramPass(AnalysisPass):
 
     def accumulate(self, state, shard: TimingShard, context: AnalysisContext):
         return state.update(np.asarray(shard.columns["compute_time_s"]))
+
+    def accumulate_columns_split(self, columns, slices, context):
+        # one lattice update per shard slice; needs no dense-layout check
+        # because the histogram only consumes the flat sample column
+        values = np.asarray(columns["compute_time_s"])
+        return [
+            self.prepare(context).update(values[sl.start : sl.stop])
+            for sl in slices
+        ]
 
     def merge(self, state, other):
         return state.merge(other)
@@ -250,6 +300,42 @@ class NormalityPass(AnalysisPass):
         else:
             state["segments"].update(app_row)
         return state
+
+    def accumulate_columns_split(self, columns, slices, context):
+        block = campaign_block_groups(columns, slices)
+        if block is None:
+            return super().accumulate_columns_split(columns, slices, context)
+        matrix, iterations = block
+        n_shards, n_iterations, n_threads = matrix.shape
+        # one fused battery over every group of every shard in the block —
+        # per-row outcomes are bit-identical to the per-shard battery.run
+        battery = NormalityBattery(alpha=self.alpha)
+        report = battery.run_fused(matrix.reshape(n_shards * n_iterations, n_threads))
+        passed = {name: report.outcomes[name].passed for name in TEST_NAMES}
+        values = np.asarray(columns["compute_time_s"], dtype=np.float64)
+        iters = [int(i) for i in iterations]
+        states = []
+        for s, sl in enumerate(slices):
+            state = self.prepare(context)
+            rows = slice(s * n_iterations, (s + 1) * n_iterations)
+            for name in TEST_NAMES:
+                state["pass_counts"][name] = int(np.sum(passed[name][rows]))
+            state["n_groups"] = n_iterations
+            state["group_size"] = n_threads
+            # dense-ordered rows: the shard's application-level vector is its
+            # raw sample slice, and its per-iteration vectors are matrix rows
+            app_row = values[sl.start : sl.stop]
+            if context.exact:
+                state["segments"].append((sl.sort_key, app_row))
+                if self.application_iteration:
+                    for i, iteration in enumerate(iters):
+                        state["iteration_segments"][iteration] = [
+                            (sl.sort_key, matrix[s, i])
+                        ]
+            else:
+                state["segments"].update(app_row)
+            states.append(state)
+        return states
 
     def merge(self, state, other):
         if isinstance(state["segments"], list):
@@ -467,6 +553,62 @@ class LaggardsPass(AnalysisPass):
                     )
         return state
 
+    def accumulate_columns_split(self, columns, slices, context):
+        block = campaign_block_groups(columns, slices)
+        if block is None:
+            return super().accumulate_columns_split(columns, slices, context)
+        matrix, iterations = block
+        n_shards, n_iterations, n_threads = matrix.shape
+        flat = matrix.reshape(n_shards * n_iterations, n_threads)
+        # the same per-group operations group_laggard_metrics applies, over
+        # the whole block at once (codes instead of a per-group enum list)
+        median = np.median(flat, axis=-1)
+        maximum = np.max(flat, axis=-1)
+        gap = maximum - median
+        q75, q25 = np.percentile(flat, [75.0, 25.0], axis=-1)
+        iqr = q75 - q25
+        has_laggard = gap > self.threshold_s
+        codes = group_laggard_codes(iqr, has_laggard, wide_iqr_s=self.wide_iqr_s)
+        iters = [int(i) for i in iterations]
+        states = []
+        for s, sl in enumerate(slices):
+            state = self.prepare(context)
+            rows = slice(s * n_iterations, (s + 1) * n_iterations)
+            counts = np.bincount(codes[rows], minlength=len(IterationClass))
+            for k, cls in enumerate(IterationClass):
+                state["class_counts"][cls.value] = int(counts[k])
+            state["n_groups"] = n_iterations
+            state["laggard_count"] = int(np.sum(has_laggard[rows]))
+            keys = [(sl.trial, sl.process, it) for it in iters]
+            if context.exact:
+                state["segments"].append(
+                    (
+                        sl.sort_key,
+                        (
+                            keys,
+                            median[rows],
+                            maximum[rows],
+                            gap[rows],
+                            iqr[rows],
+                            has_laggard[rows],
+                            codes[rows],
+                        ),
+                    )
+                )
+            else:
+                state["gap"].update(gap[rows])
+                state["iqr"].update(iqr[rows])
+                state["median"].update(median[rows])
+                for k, cls in enumerate(IterationClass):
+                    mask = codes[rows] == k
+                    if mask.any():
+                        state["candidates"][cls.value].update(
+                            gap[rows][mask],
+                            [key for key, m in zip(keys, mask) if m],
+                        )
+            states.append(state)
+        return states
+
     def merge(self, state, other):
         state["segments"].extend(other["segments"])
         state["n_groups"] += other["n_groups"]
@@ -561,6 +703,31 @@ class ReclaimablePass(AnalysisPass):
             state["median_sketch"].update(reclaim)
         return state
 
+    def accumulate_columns_split(self, columns, slices, context):
+        block = campaign_block_groups(columns, slices)
+        if block is None:
+            return super().accumulate_columns_split(columns, slices, context)
+        matrix, _ = block
+        n_shards, n_iterations, n_threads = matrix.shape
+        flat = matrix.reshape(n_shards * n_iterations, n_threads)
+        # both metrics reduce along the thread axis only, so the block-level
+        # call gives every shard's per-group values bit for bit
+        reclaim = reclaimable_time(flat)
+        ratios = idle_ratio(flat)
+        states = []
+        for s, sl in enumerate(slices):
+            state = self.prepare(context)
+            rows = slice(s * n_iterations, (s + 1) * n_iterations)
+            state["n_threads"] = n_threads
+            if context.exact:
+                state["segments"].append((sl.sort_key, (reclaim[rows], ratios[rows])))
+            else:
+                state["reclaim"].update(reclaim[rows])
+                state["ratio"].update(ratios[rows])
+                state["median_sketch"].update(reclaim[rows])
+            states.append(state)
+        return states
+
     def merge(self, state, other):
         state["segments"].extend(other["segments"])
         state["reclaim"] = state["reclaim"].merge(other["reclaim"])
@@ -635,14 +802,43 @@ class EarlybirdPass(AnalysisPass):
         selected = np.flatnonzero(indices % stride == 0)
         if len(selected):
             results = self.model.evaluate_groups(grouped.values[selected])
-            for row, gidx in enumerate(indices[selected]):
-                state[int(gidx)] = (
-                    float(results["improvement_s"][row]),
-                    float(results["speedup"][row]),
-                    float(results["hidden_s"][row]),
-                    float(results["potential_overlap_s"][row]),
-                )
+            state.update(self._result_rows(indices[selected], results))
         return state
+
+    @staticmethod
+    def _result_rows(indices: np.ndarray, results: Dict[str, np.ndarray]):
+        """Pairs of (global group index, metrics 4-tuple) from batch results."""
+        rows = np.column_stack(
+            [
+                results["improvement_s"],
+                results["speedup"],
+                results["hidden_s"],
+                results["potential_overlap_s"],
+            ]
+        ).tolist()
+        return zip((int(g) for g in indices.tolist()), (tuple(r) for r in rows))
+
+    def accumulate_columns_split(self, columns, slices, context):
+        block = campaign_block_groups(columns, slices)
+        if block is None:
+            return super().accumulate_columns_split(columns, slices, context)
+        matrix, iterations = block
+        n_shards, n_iterations, n_threads = matrix.shape
+        iters = [int(i) for i in iterations]
+        keys = [(sl.trial, sl.process, it) for sl in slices for it in iters]
+        indices = context.group_indices(keys)
+        stride = self._stride(context)
+        selected = np.flatnonzero(indices % stride == 0)
+        states = [self.prepare(context) for _ in slices]
+        if len(selected):
+            flat = matrix.reshape(n_shards * n_iterations, n_threads)
+            results = self.model.evaluate_groups(flat[selected])
+            shard_of = (selected // n_iterations).tolist()
+            for s, (idx, row) in zip(
+                shard_of, self._result_rows(indices[selected], results)
+            ):
+                states[s][idx] = row
+        return states
 
     def merge(self, state, other):
         state.update(other)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -267,3 +267,97 @@ def per_iteration_samples(dataset: TimingDataset) -> np.ndarray:
     """Matrix ``(n_iterations, samples_per_iteration)`` (percentile-plot input)."""
     grouped = aggregate(dataset, AggregationLevel.APPLICATION_ITERATION)
     return grouped.values
+
+
+class ShardSlice(NamedTuple):
+    """Address of one shard's rows inside a multi-shard column block.
+
+    The columnar analysis path ships a chunk of shards as one set of flat
+    columns plus one :class:`ShardSlice` per shard; ``start:stop`` delimits
+    the shard's rows in every column.  Mirrors the identity attributes of
+    :class:`~repro.core.timing.TimingShard` so per-shard partials built from
+    a slice carry the same ordering key as shard-streaming partials.
+    """
+
+    trial: int
+    process: Optional[int]
+    start: int
+    stop: int
+
+    @property
+    def n_samples(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        """Position in the serial (trial-major) shard order (=
+        :attr:`~repro.core.timing.TimingShard.sort_key`)."""
+        return (self.trial, -1 if self.process is None else self.process)
+
+
+def campaign_block_groups(
+    columns: Mapping[str, np.ndarray], slices: Sequence[ShardSlice]
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Group a whole column block as one dense reshape, if its layout allows.
+
+    Campaign producers (``record_campaign``, the tensor backend's chunk
+    workers, the shard store's group payloads) emit rows in canonical dense
+    order: iteration-major, thread-minor, threads ``0..T-1``, iterations
+    ascending and identical for every shard.  For such a block the
+    process-iteration group-by of *every shard at once* is a single
+    ``values.reshape(n_shards, n_iterations, n_threads)`` — no per-shard
+    argsort — and, because :func:`aggregate_shard`'s stable composite-code
+    argsort is the identity permutation on dense-ordered rows, each
+    ``matrix[s]`` is bit-identical to that shard's
+    ``aggregate_shard(..., PROCESS_ITERATION).values``.
+
+    Returns ``(matrix, iterations)`` with ``matrix`` of shape
+    ``(n_shards, n_iterations, n_threads)`` and ``iterations`` the shared
+    ascending iteration ids, or ``None`` when the block is not in canonical
+    dense order (the caller falls back to the generic per-shard path).
+    """
+    n_shards = len(slices)
+    if n_shards == 0:
+        return None
+    values = np.asarray(columns["compute_time_s"], dtype=np.float64)
+    iteration = np.asarray(columns["iteration"])
+    thread = np.asarray(columns["thread"])
+    trial = np.asarray(columns["trial"])
+    process = np.asarray(columns["process"])
+    size = slices[0].n_samples
+    if size <= 0 or n_shards * size != len(values):
+        return None
+    for index, sl in enumerate(slices):
+        if sl.start != index * size or sl.stop != sl.start + size:
+            return None
+    n_threads = int(thread[:size].max()) + 1 if size else 0
+    if n_threads <= 0 or size % n_threads:
+        return None
+    n_iterations = size // n_threads
+    try:
+        thread_cube = thread.reshape(n_shards, n_iterations, n_threads)
+        iter_cube = iteration.reshape(n_shards, n_iterations, n_threads)
+        trial_rows = trial.reshape(n_shards, size)
+        process_rows = process.reshape(n_shards, size)
+    except ValueError:
+        return None
+    if not np.array_equal(
+        thread_cube, np.broadcast_to(np.arange(n_threads), thread_cube.shape)
+    ):
+        return None
+    iterations = iter_cube[0, :, 0]
+    if np.any(np.diff(iterations) <= 0):
+        return None
+    if not np.array_equal(
+        iter_cube, np.broadcast_to(iterations[:, np.newaxis], iter_cube.shape)
+    ):
+        return None
+    slice_trials = np.array([sl.trial for sl in slices])
+    slice_procs = np.array(
+        [-1 if sl.process is None else sl.process for sl in slices]
+    )
+    if not np.array_equal(trial_rows, np.broadcast_to(slice_trials[:, np.newaxis], trial_rows.shape)):
+        return None
+    if not np.array_equal(process_rows, np.broadcast_to(slice_procs[:, np.newaxis], process_rows.shape)):
+        return None
+    return values.reshape(n_shards, n_iterations, n_threads), iterations

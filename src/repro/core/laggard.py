@@ -202,15 +202,27 @@ def group_laggard_metrics(
     q75, q25 = np.percentile(values, [75.0, 25.0], axis=-1)
     iqr = q75 - q25
     has_laggard = gap > threshold_s
-    classes: List[IterationClass] = []
-    for idx in range(values.shape[0]):
-        if iqr[idx] > wide_iqr_s:
-            classes.append(IterationClass.WIDE)
-        elif has_laggard[idx]:
-            classes.append(IterationClass.LAGGARD)
-        else:
-            classes.append(IterationClass.NO_LAGGARD)
+    codes = group_laggard_codes(iqr, has_laggard, wide_iqr_s=wide_iqr_s)
+    members = list(IterationClass)
+    classes = [members[code] for code in codes.tolist()]
     return median, maximum, gap, iqr, has_laggard, classes
+
+
+def group_laggard_codes(
+    iqr: np.ndarray,
+    has_laggard: np.ndarray,
+    *,
+    wide_iqr_s: float = DEFAULT_WIDE_IQR_S,
+) -> np.ndarray:
+    """Integer class codes of each group: ``list(IterationClass)`` indices.
+
+    ``0`` = NO_LAGGARD, ``1`` = LAGGARD, ``2`` = WIDE — the vectorised form
+    of the classification in :func:`group_laggard_metrics`, small enough to
+    stream through the laggards analysis pass as an ``int8`` column.
+    """
+    codes = np.asarray(has_laggard, dtype=np.int8).copy()
+    codes[np.asarray(iqr) > wide_iqr_s] = 2
+    return codes
 
 
 def classify_iterations(

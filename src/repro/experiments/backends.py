@@ -613,6 +613,34 @@ def _run_campaign_chunk_shm(config: "CampaignConfig", chunk):
     return _pack_blocks([_campaign_chunk_columns(config, chunk)])
 
 
+def _chunk_slices(chunk: List[Tuple[int, int]], per_shard: int):
+    """One :class:`~repro.core.aggregation.ShardSlice` per chunk shard."""
+    from repro.core.aggregation import ShardSlice
+
+    return [
+        ShardSlice(
+            trial=trial,
+            process=process,
+            start=index * per_shard,
+            stop=(index + 1) * per_shard,
+        )
+        for index, (trial, process) in enumerate(chunk)
+    ]
+
+
+def _campaign_chunk_partials(config: "CampaignConfig", chunk, mapper):
+    """Worker body of the fused execute-and-analyse path: fold one chunk and
+    apply a columnar block mapper to it in place.
+
+    Only the mapper's per-shard results (analysis-pass partial states)
+    travel back to the parent — no shard assembly, no shared-memory copy of
+    the sample columns at all."""
+    chunk = [tuple(shard) for shard in chunk]
+    columns = _campaign_chunk_columns(config, chunk)
+    per_shard = config.iterations * config.threads
+    return mapper(columns, _chunk_slices(chunk, per_shard))
+
+
 def _spill_campaign_chunk(config: "CampaignConfig", chunk, store_dir: str, tag: int):
     """Process-pool worker: fold a chunk and spill it as a finished
     shard-store group payload — the arrays never travel to the parent."""
@@ -963,6 +991,45 @@ class CampaignTensorBackend(CampaignBackend):
             if store is not None:
                 store.extend(shards)
             yield from shards
+
+    def map_chunk_blocks(
+        self,
+        config: "CampaignConfig",
+        mapper,
+        *,
+        workers: Optional[int] = None,
+        mode: str = "process",
+    ) -> Iterator[list]:
+        """Fold chunks and apply ``mapper(columns, slices)`` where they land.
+
+        The fused execute-and-analyse driver: each chunk's column block is
+        handed to ``mapper`` (e.g. the analysis engine's
+        ``ColumnarAnalyzer``) right where the fold produced it — inside the
+        pool worker when ``workers > 1`` — and only the mapper's result is
+        delivered, in submission (trial-major) order.  When only analyses
+        are requested this skips shard assembly and the shared-memory
+        column copy entirely.  ``mapper`` must be picklable for process
+        pools.
+        """
+        if workers is None:
+            workers = int(getattr(config, "max_workers", 1) or 1)
+        per_shard = config.iterations * config.threads
+        chunks = self._parallel_chunks(config, max(1, int(workers)))
+        workers = max(1, min(int(workers), len(chunks)))
+        if workers <= 1 or len(chunks) <= 1:
+            app, rng, noise, shards = self._context(config, None)
+            for start in range(0, len(shards), self.chunk_shards):
+                chunk = shards[start : start + self.chunk_shards]
+                times = app.thread_compute_times_campaign(
+                    shards=chunk, rng=rng, noise=noise
+                )
+                columns = _chunk_columns(app, chunk, times)
+                yield mapper(columns, _chunk_slices(chunk, per_shard))
+            return
+        tasks = [
+            (_campaign_chunk_partials, (config, chunk, mapper)) for chunk in chunks
+        ]
+        yield from self._map_chunks_pooled(tasks, workers, mode)
 
     # ------------------------------------------------------------------
     # grouped execution (scenario-matrix sweeps, coalesced service jobs)

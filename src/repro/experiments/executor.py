@@ -224,6 +224,25 @@ class ShardExecutor:
                 on_shard(shard)
             yield shard
 
+    def map_blocks(
+        self, backend: "CampaignBackend", config: "CampaignConfig", mapper
+    ) -> Optional[Iterator[list]]:
+        """Apply a columnar block mapper chunk by chunk, if the backend can.
+
+        ``mapper(columns, slices)`` receives whole multi-shard column blocks
+        (see :meth:`CampaignTensorBackend.map_chunk_blocks`) and its results
+        are yielded per chunk in serial (trial-major) order; with a pool the
+        mapper runs inside the workers, so per-shard analysis partials are
+        the only thing crossing the process boundary.  Returns ``None`` for
+        backends without a chunk-block path — callers fall back to
+        :meth:`map_shards`.
+        """
+        map_chunks = getattr(backend, "map_chunk_blocks", None)
+        if map_chunks is None:
+            return None
+        workers = self._resolve_workers(config, len(backend.shard_specs(config)))
+        return map_chunks(config, mapper, workers=workers, mode=self.mode)
+
     def map_shards(
         self, backend: "CampaignBackend", config: "CampaignConfig", mapper
     ) -> Iterator[tuple]:

@@ -312,13 +312,9 @@ def _print_catalogs(args: argparse.Namespace) -> None:
 
 def _product_payload(product) -> object:
     """JSON-friendly view of one analysis-pass product."""
-    for attr in ("to_dict", "as_dict"):
-        method = getattr(product, attr, None)
-        if callable(method):
-            return method()
-    if isinstance(product, dict):
-        return product
-    return repr(product)
+    from repro.analysis import product_payload
+
+    return product_payload(product)
 
 
 def _run_streaming_analyses(

@@ -195,6 +195,33 @@ class CampaignResult:
             return self.store.iter_shards()
         return iter(self.shards)
 
+    def iter_column_blocks(self):
+        """Stream the campaign as columnar ``(columns, slices)`` blocks.
+
+        The analysis engine's preferred input
+        (:func:`~repro.analysis.engine.run_columnar_analyses`): store-backed
+        results yield each on-disk group as one zero-copy mmap block
+        (:meth:`~repro.io.shard_store.ShardStore.iter_column_blocks`);
+        in-memory results wrap each shard as a single-shard block — the
+        passes still take their vectorised group-by route, just one shard at
+        a time.  Blocks arrive in serial (trial-major) shard order, so the
+        reduction matches :meth:`iter_shards` state for state.
+        """
+        from repro.core.aggregation import ShardSlice
+
+        if self._shards is None and self.store is not None:
+            yield from self.store.iter_column_blocks()
+            return
+        for shard in self.iter_shards():
+            yield shard.columns, [
+                ShardSlice(
+                    trial=shard.trial,
+                    process=shard.process,
+                    start=0,
+                    stop=shard.n_samples,
+                )
+            ]
+
     def __iter__(self) -> Iterator[TimingShard]:
         return self.iter_shards()
 
@@ -740,8 +767,8 @@ class CampaignSession:
                 AnalysisContext,
                 AnalysisResults,
                 resolve_analyses,
-                run_analyses,
                 run_campaign_analyses,
+                run_columnar_analyses,
             )
 
             passes = resolve_analyses(analyses)
@@ -763,13 +790,15 @@ class CampaignSession:
             if missing:
                 if result is not None:
                     # the campaign already ran in this session — fold its
-                    # shards through the passes instead of re-executing it
+                    # columns through the passes instead of re-executing it
                     context = AnalysisContext.from_config(
                         config, exact=exact, metadata=result.metadata
                     )
-                    # iter_shards streams (store-backed results never
-                    # materialise the shard tuple here)
-                    fresh = run_analyses(result.iter_shards(), missing, context)
+                    # column blocks stream (store-backed results yield each
+                    # on-disk group as one zero-copy mmap block)
+                    fresh = run_columnar_analyses(
+                        result.iter_column_blocks(), missing, context
+                    )
                 else:
                     backend = get_backend(config.backend)
                     fresh = run_campaign_analyses(

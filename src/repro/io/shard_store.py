@@ -328,13 +328,30 @@ class ShardStore:
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
-    def _iter_group(self, group: dict) -> Iterator[TimingShard]:
+    def group_columns(self, group: dict):
+        """One group's full columns as zero-copy mmap views, plus its shard
+        addressing.
+
+        Returns ``(columns, slices)``: ``columns`` maps each column name to
+        one :class:`numpy.memmap` view covering the whole group (all shards
+        concatenated, exactly the bytes on disk) and ``slices`` is one
+        :class:`~repro.core.aggregation.ShardSlice` per stored shard, in
+        append order.  This is the store-side producer of the columnar
+        analysis fast path: a group *is already* a column block, so analyses
+        can fold it through
+        :meth:`~repro.analysis.base.AnalysisPass.accumulate_columns_split`
+        without ever assembling per-shard objects.  The views are file
+        backed (clean pages, evictable), so streaming group blocks keeps the
+        same bounded working set as :meth:`iter_shards`.
+        """
+        from repro.core.aggregation import ShardSlice
+
         path = self.path / group["file"]
         length = int(group["n_samples"])
         with open(path, "rb") as handle:
             if handle.read(len(GROUP_MAGIC)) != GROUP_MAGIC:
                 raise ValueError(f"{path} is not a shard-store group file")
-            arrays = {
+            columns = {
                 column["name"]: np.memmap(
                     handle,
                     dtype=np.dtype(column["dtype"]),
@@ -344,24 +361,60 @@ class ShardStore:
                 )
                 for column in group["columns"]
             }
+        slices = []
         start = 0
         for entry in group["shards"]:
             stop = start + int(entry["n_samples"])
-            yield TimingShard(
-                trial=int(entry["trial"]),
-                process=(
-                    None if entry["process"] is None else int(entry["process"])
-                ),
-                columns={
-                    name: array[start:stop] for name, array in arrays.items()
-                },
+            slices.append(
+                ShardSlice(
+                    trial=int(entry["trial"]),
+                    process=(
+                        None if entry["process"] is None else int(entry["process"])
+                    ),
+                    start=start,
+                    stop=stop,
+                )
             )
             start = stop
+        return columns, slices
+
+    def _iter_group(self, group: dict) -> Iterator[TimingShard]:
+        columns, slices = self.group_columns(group)
+        for sl in slices:
+            yield TimingShard(
+                trial=sl.trial,
+                process=sl.process,
+                columns={
+                    name: array[sl.start : sl.stop]
+                    for name, array in columns.items()
+                },
+            )
 
     def iter_group(self, entry: Dict[str, object]) -> Iterator[TimingShard]:
         """Zero-copy mmap shard views of one group (``entry`` as stored in
         the manifest or returned by :meth:`adopt_group`)."""
         return self._iter_group(entry)
+
+    def iter_column_blocks(self):
+        """Stream the store group by group as ``(columns, slices)`` blocks.
+
+        The columnar dual of :meth:`iter_shards`: each stored group is
+        yielded once, as the zero-copy mmap column views plus shard slices
+        of :meth:`group_columns`, in manifest (serial shard) order.  Feed
+        the blocks to
+        :func:`~repro.analysis.engine.run_columnar_analyses` to analyse an
+        out-of-core campaign without materialising shards; the same
+        snapshot/flush semantics as :meth:`iter_shards` apply, and roughly
+        one group's pages are hot at a time.
+        """
+        if self.mode == "r":
+            manifest = self._read_manifest()
+            self._manifest = manifest
+        else:
+            self.flush()
+            manifest = self._manifest
+        for group in list(manifest["groups"]):  # type: ignore[index]
+            yield self.group_columns(group)
 
     def iter_shards(self) -> Iterator[TimingShard]:
         """Stream every stored shard as zero-copy memory-mapped views.

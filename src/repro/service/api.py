@@ -33,6 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.analysis import AnalysisContext, run_columnar_analyses
 from repro.core.timing import TimingDataset
 from repro.experiments.backends import campaign_group_key, get_backend
 from repro.experiments.config import CampaignConfig
@@ -113,6 +114,8 @@ class CampaignService:
         self._coalescer = RequestCoalescer()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._jobs: Dict[str, Job] = {}
+        self._analyses: Dict[str, Dict[str, object]] = {}
+        self._analyses_locks: Dict[str, asyncio.Lock] = {}
         self._counter_lock = threading.Lock()
         self._counters = {
             "submitted": 0,
@@ -236,6 +239,47 @@ class CampaignService:
     def get_job(self, job_id: str) -> Optional[Job]:
         """The job with ``job_id``, or ``None``."""
         return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # analyses
+    # ------------------------------------------------------------------
+    async def job_analyses(self, job: Job) -> Dict[str, object]:
+        """Finalized analysis products of a completed job, as JSON data.
+
+        Blocks until the job is terminal (raising, as
+        :meth:`JobHandle.result` does, for failed or cancelled jobs), then
+        folds the job's result through every registered pass — on the
+        execution pool, through the columnar fast path
+        (:func:`~repro.analysis.run_columnar_analyses` over
+        :meth:`CampaignResult.iter_column_blocks`), so exact-mode products
+        are bit-identical to the per-shard streaming engine.  The payload
+        is computed once per job and memoised; concurrent callers share
+        one computation.
+        """
+        await job.wait()
+        result = job.result_or_raise()
+        if job.id not in self._analyses:
+            lock = self._analyses_locks.setdefault(job.id, asyncio.Lock())
+            async with lock:
+                if job.id not in self._analyses:
+                    assert self._pool is not None
+                    loop = asyncio.get_running_loop()
+                    self._analyses[job.id] = await loop.run_in_executor(
+                        self._pool, self._compute_analyses, result
+                    )
+            self._analyses_locks.pop(job.id, None)
+        return {
+            "job_id": job.id,
+            "digest": job.digest,
+            "analyses": self._analyses[job.id],
+        }
+
+    def _compute_analyses(self, result: CampaignResult) -> Dict[str, object]:
+        """Synchronous analysis body (worker thread): columnar fold."""
+        context = AnalysisContext.from_dataset(result.dataset)
+        return run_columnar_analyses(
+            result.iter_column_blocks(), "all", context
+        ).as_payload()
 
     # ------------------------------------------------------------------
     # stats

@@ -12,6 +12,10 @@ to remote clients:
 ``GET /jobs/<id>/result`` block until terminal, then the final status
 ``GET /jobs/<id>/stream`` newline-delimited JSON: one ``shard`` event per
                           produced shard as it lands, then a ``done`` event
+``GET /jobs/<id>/analyses`` block until terminal, then every finalized
+                          analysis-pass product as JSON (computed once per
+                          job via the columnar fast path; ``409`` for
+                          failed or cancelled jobs)
 ``POST /jobs/<id>/cancel``request cooperative cancellation
 ``GET /stats``            service counters (queue depth, coalescing, caches)
 ========================  ====================================================
@@ -32,7 +36,7 @@ import json
 from typing import Dict, Optional, Tuple
 
 from repro.service.api import CampaignService
-from repro.service.jobs import _END, Job, shard_digest
+from repro.service.jobs import _END, Job, JobState, shard_digest
 from repro.service.queue import RejectedError
 
 _REASONS = {
@@ -41,6 +45,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     429: "Too Many Requests",
     500: "Internal Server Error",
 }
@@ -196,6 +201,8 @@ class CampaignHTTPServer:
                 await self._send_json(writer, 200, job.status())
             elif action == "stream" and method == "GET":
                 await self._stream(writer, job)
+            elif action == "analyses" and method == "GET":
+                await self._analyses(writer, job)
             elif action == "cancel" and method == "POST":
                 cancelled = job.cancel()
                 await self._send_json(
@@ -282,6 +289,26 @@ class CampaignHTTPServer:
         except ConnectionError:
             pass  # client hung up mid-stream; the job keeps running
         # body has no Content-Length: Connection: close delimits it
+
+    async def _analyses(self, writer: asyncio.StreamWriter, job: Job) -> None:
+        """Finalized analysis products of a completed job (blocks until
+        terminal; only ``done`` jobs have a dataset to analyse)."""
+        await job.wait()
+        if job.state is not JobState.DONE:
+            await self._send_json(
+                writer,
+                409,
+                {
+                    "error": (
+                        f"job {job.id} is {job.state.value}; "
+                        "analyses need a completed job"
+                    ),
+                    **job.status(),
+                },
+            )
+            return
+        payload = await self.service.job_analyses(job)
+        await self._send_json(writer, 200, payload)
 
     # ------------------------------------------------------------------
     # response plumbing

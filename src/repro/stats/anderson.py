@@ -94,13 +94,17 @@ def _approximate_pvalue(a2_star: np.ndarray) -> np.ndarray:
     return np.clip(p, 0.0, 1.0)
 
 
-def anderson_darling(x) -> AndersonDarlingResult:
+def anderson_darling(x, *, sorted_x=None) -> AndersonDarlingResult:
     """Anderson–Darling normality test along the last axis of ``x``.
 
     Parameters
     ----------
     x:
         Array of shape ``(..., n)`` with ``n >= 8`` samples per group.
+    sorted_x:
+        Optional presorted copy of ``x`` along the last axis (shared with
+        Shapiro–Wilk by the fused battery).  Must equal
+        ``np.sort(x, axis=-1)``; the result is unchanged.
 
     Returns
     -------
@@ -110,7 +114,7 @@ def anderson_darling(x) -> AndersonDarlingResult:
     n = arr.shape[-1]
     if n < 8:
         raise ValueError(f"Anderson–Darling test requires n >= 8 samples, got {n}")
-    sorted_arr = np.sort(arr, axis=-1)
+    sorted_arr = np.sort(arr, axis=-1) if sorted_x is None else np.asarray(sorted_x)
     mean = sorted_arr.mean(axis=-1, keepdims=True)
     std = sorted_arr.std(axis=-1, ddof=1, keepdims=True)
     degenerate = (std <= 0).reshape(std.shape[:-1])

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.stats.anderson import anderson_darling
 from repro.stats.dagostino import dagostino_k2
+from repro.stats.moments import skewness_kurtosis
 from repro.stats.shapiro import shapiro_wilk
 
 #: Canonical test names, in the order Table 1 lists them.
@@ -150,17 +151,60 @@ class NormalityBattery:
         return report
 
     # ------------------------------------------------------------------
-    def _run_single(self, name: str, arr: np.ndarray) -> TestOutcome:
+    def run_fused(self, groups) -> NormalityReport:
+        """Run the battery sharing intermediates across the three tests.
+
+        One deviations pass supplies skewness and kurtosis to D'Agostino,
+        and one ``np.sort`` of the sample matrix is shared by Shapiro–Wilk
+        and Anderson–Darling — the dominant costs when the battery runs on
+        a whole campaign's group matrix at once (the columnar analysis
+        path).  Every shared intermediate is produced by exactly the
+        operations the tests would perform themselves, so the outcomes are
+        bit-identical to :meth:`run`.
+        """
+        arr = np.asarray(groups, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[np.newaxis, :]
+        if arr.ndim != 2:
+            raise ValueError("groups must be 1-D or 2-D")
+        if arr.shape[-1] < 8:
+            raise ValueError(
+                f"the battery requires at least 8 samples per group, got {arr.shape[-1]}"
+            )
+        b1 = b2 = sorted_x = None
+        if "dagostino" in self.tests:
+            b1, b2 = skewness_kurtosis(arr)
+        if "shapiro_wilk" in self.tests or "anderson_darling" in self.tests:
+            sorted_x = np.sort(arr, axis=-1)
+        report = NormalityReport(
+            alpha=self.alpha, n_groups=arr.shape[0], group_size=arr.shape[1]
+        )
+        for name in self.tests:
+            report.outcomes[name] = self._run_single(
+                name, arr, b1=b1, b2=b2, sorted_x=sorted_x
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_single(
+        self,
+        name: str,
+        arr: np.ndarray,
+        *,
+        b1: Optional[np.ndarray] = None,
+        b2: Optional[np.ndarray] = None,
+        sorted_x: Optional[np.ndarray] = None,
+    ) -> TestOutcome:
         if name == "dagostino":
-            result = dagostino_k2(arr)
+            result = dagostino_k2(arr, b1=b1, b2=b2)
             passed = result.passes(self.alpha)
             return TestOutcome(name, result.statistic, result.pvalue, passed)
         if name == "shapiro_wilk":
-            result = shapiro_wilk(arr)
+            result = shapiro_wilk(arr, sorted_x=sorted_x)
             passed = result.passes(self.alpha)
             return TestOutcome(name, result.statistic, result.pvalue, passed)
         if name == "anderson_darling":
-            result = anderson_darling(arr)
+            result = anderson_darling(arr, sorted_x=sorted_x)
             passed = result.passes(self.alpha)
             return TestOutcome(name, result.statistic, result.pvalue, passed)
         raise ValueError(f"unknown test {name!r}")

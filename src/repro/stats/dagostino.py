@@ -45,16 +45,20 @@ class DAgostinoResult:
         return self.pvalue > alpha
 
 
-def skewness_test(x) -> tuple[np.ndarray, np.ndarray]:
+def skewness_test(x, *, b1=None) -> tuple[np.ndarray, np.ndarray]:
     """D'Agostino's transformed skewness statistic ``Z1`` and its p-value.
 
-    Requires at least 8 samples per group (as SciPy does).
+    Requires at least 8 samples per group (as SciPy does).  ``b1`` accepts
+    a precomputed skewness array (the fused battery shares one deviations
+    pass across tests); passing it changes nothing numerically because
+    :func:`~repro.stats.moments.skewness` is deterministic.
     """
     arr = np.asarray(x, dtype=np.float64)
     n = arr.shape[-1]
     if n < 8:
         raise ValueError(f"skewness test requires n >= 8 samples, got {n}")
-    b1 = skewness(arr)
+    if b1 is None:
+        b1 = skewness(arr)
     y = b1 * np.sqrt(((n + 1.0) * (n + 3.0)) / (6.0 * (n - 2.0)))
     beta2 = (
         3.0
@@ -68,22 +72,24 @@ def skewness_test(x) -> tuple[np.ndarray, np.ndarray]:
     alpha = np.sqrt(2.0 / (w2 - 1.0))
     y = np.where(y == 0, 1.0, y)  # keep log argument finite; sign restored below
     z = delta * np.log(y / alpha + np.sqrt((y / alpha) ** 2 + 1.0))
-    z = np.where(skewness(arr) == 0, 0.0, z)
+    z = np.where(b1 == 0, 0.0, z)
     pvalue = 2.0 * (1.0 - ndtr(np.abs(z)))
     return z, pvalue
 
 
-def kurtosis_test(x) -> tuple[np.ndarray, np.ndarray]:
+def kurtosis_test(x, *, b2=None) -> tuple[np.ndarray, np.ndarray]:
     """Anscombe–Glynn transformed kurtosis statistic ``Z2`` and its p-value.
 
     Requires at least 5 samples per group (as SciPy does; SciPy warns for
-    n < 20, we simply compute).
+    n < 20, we simply compute).  ``b2`` accepts a precomputed Pearson
+    kurtosis array (see :func:`skewness_test`).
     """
     arr = np.asarray(x, dtype=np.float64)
     n = arr.shape[-1]
     if n < 5:
         raise ValueError(f"kurtosis test requires n >= 5 samples, got {n}")
-    b2 = kurtosis(arr, fisher=False)
+    if b2 is None:
+        b2 = kurtosis(arr, fisher=False)
     expected = 3.0 * (n - 1.0) / (n + 1.0)
     variance = (
         24.0 * n * (n - 2.0) * (n - 3.0) / ((n + 1.0) ** 2 * (n + 3.0) * (n + 5.0))
@@ -110,13 +116,17 @@ def kurtosis_test(x) -> tuple[np.ndarray, np.ndarray]:
     return z, pvalue
 
 
-def dagostino_k2(x) -> DAgostinoResult:
+def dagostino_k2(x, *, b1=None, b2=None) -> DAgostinoResult:
     """D'Agostino–Pearson K² omnibus test along the last axis.
 
     Parameters
     ----------
     x:
         Array of shape ``(..., n)`` with ``n >= 8`` samples per group.
+    b1, b2:
+        Optional precomputed skewness / Pearson kurtosis arrays (the fused
+        battery path shares one deviations pass across both component
+        tests); omitting them reproduces the standalone computation.
 
     Returns
     -------
@@ -124,8 +134,8 @@ def dagostino_k2(x) -> DAgostinoResult:
         Per-group statistic, p-value and component Z scores.
     """
     arr = np.asarray(x, dtype=np.float64)
-    z_skew, _ = skewness_test(arr)
-    z_kurt, _ = kurtosis_test(arr)
+    z_skew, _ = skewness_test(arr, b1=b1)
+    z_kurt, _ = kurtosis_test(arr, b2=b2)
     k2 = z_skew * z_skew + z_kurt * z_kurt
     pvalue = chdtrc(2.0, k2)
     return DAgostinoResult(

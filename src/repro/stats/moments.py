@@ -47,6 +47,26 @@ def kurtosis(x, *, fisher: bool = False) -> np.ndarray:
     return b2 - 3.0 if fisher else b2
 
 
+def skewness_kurtosis(x) -> "tuple[np.ndarray, np.ndarray]":
+    """Skewness ``g1`` and Pearson kurtosis ``b2`` from one deviations pass.
+
+    Bit-identical to calling :func:`skewness` and :func:`kurtosis`
+    separately: the shared mean/deviation tensor goes through exactly the
+    same ``**``/``mean`` operations, only computed once instead of five
+    times.  This is the moment kernel of the fused normality battery.
+    """
+    arr = _as_float_array(x)
+    mean = arr.mean(axis=-1, keepdims=True)
+    deviations = arr - mean
+    m2 = np.mean(deviations ** 2, axis=-1)
+    m3 = np.mean(deviations ** 3, axis=-1)
+    m4 = np.mean(deviations ** 4, axis=-1)
+    safe_m2 = np.where(m2 > 0, m2, 1.0)
+    b1 = np.where(m2 > 0, m3 / np.power(safe_m2, 1.5), 0.0)
+    b2 = np.where(m2 > 0, m4 / (safe_m2 * safe_m2), 0.0)
+    return b1, b2
+
+
 def standardize(x, *, ddof: int = 1) -> np.ndarray:
     """Standardise samples along the last axis: ``(x - mean) / std``.
 

@@ -101,13 +101,17 @@ def _pvalue_from_w(w: np.ndarray, n: int) -> np.ndarray:
     return 1.0 - ndtr(z)
 
 
-def shapiro_wilk(x) -> ShapiroWilkResult:
+def shapiro_wilk(x, *, sorted_x=None) -> ShapiroWilkResult:
     """Shapiro–Wilk W test along the last axis of ``x``.
 
     Parameters
     ----------
     x:
         Array of shape ``(..., n)`` with ``3 <= n <= 5000``.
+    sorted_x:
+        Optional presorted copy of ``x`` along the last axis — the fused
+        battery sorts once and shares the matrix with Anderson–Darling.
+        Must equal ``np.sort(x, axis=-1)``; the result is unchanged.
 
     Returns
     -------
@@ -117,7 +121,7 @@ def shapiro_wilk(x) -> ShapiroWilkResult:
     arr = np.asarray(x, dtype=np.float64)
     n = arr.shape[-1]
     a = shapiro_weights(n)
-    sorted_arr = np.sort(arr, axis=-1)
+    sorted_arr = np.sort(arr, axis=-1) if sorted_x is None else np.asarray(sorted_x)
     mean = sorted_arr.mean(axis=-1, keepdims=True)
     ssq = np.sum((sorted_arr - mean) ** 2, axis=-1)
     numerator = np.square(sorted_arr @ a)

@@ -11,13 +11,19 @@ merged campaign in memory.  Two tools are provided:
 * :class:`PercentileSketch` — the accumulator the passes actually use.  In
   ``exact`` mode it stores every sample (the bit-identical fallback: a
   quantile query equals ``np.percentile`` over the pooled samples,
-  regardless of shard order).  In compressed mode it keeps a bounded,
-  sorted support of at most ``capacity`` values: updates and merges
-  merge-sort the incoming values in and, when over capacity, recompress to
-  evenly spaced order statistics (always retaining the exact minimum and
-  maximum).  Quantile error is bounded by the local quantile spacing,
-  roughly ``1 / capacity`` of rank — documented tolerance, checked in the
-  test suite.
+  regardless of shard order).  In compressed mode it is a KLL-style
+  multi-level compactor: retained values live on levels of geometrically
+  decaying capacity, where a level-``h`` value stands for ``2**h`` original
+  samples.  A level over its capacity is sorted and every other element is
+  promoted one level up (the deterministic even/odd choice alternates via a
+  per-level parity counter), so the total retained state stays at or below
+  ``capacity`` values while quantile queries interpolate the *weighted* CDF
+  of the survivors.  The sketch is exact until the first compaction (the
+  bottom level's budget is the full capacity), always answers ``minimum`` /
+  ``maximum`` exactly (tracked as scalars), and merging is level-wise
+  concatenation plus the same compaction sweep — rank error stays bounded
+  by the compaction schedule (roughly ``levels / capacity`` of rank, at or
+  below the old strided recompression's error; property-tested).
 * :class:`BoundedTopK` — a keyed companion: a bounded, mergeable pool of
   ``(value, key)`` candidates spanning the stream's value range, for
   queries that must answer with a *key* (e.g. the exemplar
@@ -27,7 +33,7 @@ merged campaign in memory.  Two tools are provided:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -124,21 +130,45 @@ class P2Quantile:
 
 
 class PercentileSketch:
-    """Mergeable bounded-support quantile sketch with an exact fallback.
+    """Mergeable KLL-style quantile sketch with an exact fallback.
 
     Parameters
     ----------
     capacity:
-        Maximum number of retained support values in compressed mode.  While
-        the total sample count stays at or below the capacity the sketch *is*
-        exact.
+        Maximum number of retained support values in compressed mode,
+        across all compactor levels.  While the total sample count stays at
+        or below the capacity the sketch *is* exact (the bottom level's
+        budget is the full capacity, so nothing compacts before then).
     exact:
         Keep every sample (unbounded memory, bit-identical quantiles —
         ``quantile`` equals ``np.percentile`` over the pooled samples
         independent of shard order).
+
+    Compressed mode keeps values on *levels*: a value on level ``h`` stands
+    for ``2**h`` of the original samples.  When level ``h`` exceeds its
+    budget it is sorted and every other element is promoted to level
+    ``h + 1`` (the other half is discarded); the even/odd choice alternates
+    deterministically via a per-level parity counter, so equal states fold
+    equal streams identically — no randomness, reproducible campaigns.
+    Level budgets decay geometrically from the top (the KLL schedule),
+    which is what bounds both the state and the rank error; compaction is
+    *lazy* — nothing is discarded while the total retained count fits in
+    ``capacity``, keeping the sketch as accurate as the budget allows.
     """
 
-    __slots__ = ("capacity", "exact", "n", "_support")
+    __slots__ = (
+        "capacity",
+        "exact",
+        "n",
+        "_support",
+        "_levels",
+        "_parity",
+        "_min",
+        "_max",
+    )
+
+    #: per-level budget decay of the KLL schedule (top level is largest)
+    _DECAY = 0.5
 
     def __init__(self, capacity: int = 2048, *, exact: bool = False) -> None:
         if capacity < 8:
@@ -147,6 +177,10 @@ class PercentileSketch:
         self.exact = bool(exact)
         self.n = 0
         self._support = np.empty(0, dtype=np.float64)
+        self._levels: List[np.ndarray] = [np.empty(0, dtype=np.float64)]
+        self._parity: List[int] = [0]
+        self._min = float("inf")
+        self._max = float("-inf")
 
     # ------------------------------------------------------------------
     def update(self, samples) -> "PercentileSketch":
@@ -158,8 +192,10 @@ class PercentileSketch:
         if self.exact:
             self._support = np.concatenate([self._support, arr])
             return self
-        self._support = np.sort(np.concatenate([self._support, arr]))
-        self._compress()
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+        self._levels[0] = np.concatenate([self._levels[0], arr])
+        self._compact()
         return self
 
     def merge(self, other: "PercentileSketch") -> "PercentileSketch":
@@ -173,41 +209,154 @@ class PercentileSketch:
         if self.exact:
             merged._support = np.concatenate([self._support, other._support])
             return merged
-        merged._support = np.sort(np.concatenate([self._support, other._support]))
-        merged._compress()
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        empty = np.empty(0, dtype=np.float64)
+        for h in range(max(len(self._levels), len(other._levels))):
+            mine = self._levels[h] if h < len(self._levels) else empty
+            theirs = other._levels[h] if h < len(other._levels) else empty
+            if h == len(merged._levels):
+                merged._levels.append(empty)
+                merged._parity.append(0)
+            merged._levels[h] = np.concatenate([mine, theirs])
+            merged._parity[h] = (
+                self._parity[h] if h < len(self._parity) else 0
+            ) + (other._parity[h] if h < len(other._parity) else 0)
+        merged._compact()
         return merged
 
-    def _compress(self) -> None:
-        support = self._support
-        if len(support) <= self.capacity:
-            return
-        # evenly spaced order statistics over the sorted support, pinning the
-        # exact extremes so min/max queries stay exact
-        idx = np.round(np.linspace(0, len(support) - 1, self.capacity)).astype(np.int64)
-        self._support = support[idx]
+    # ------------------------------------------------------------------
+    def _level_budget(self, h: int, n_levels: int) -> int:
+        """Retained-value budget of level ``h`` with ``n_levels`` in play.
+
+        With one level the whole capacity is the budget (the exact-until-
+        first-compaction guarantee); afterwards budgets decay geometrically
+        from the top so the total stays within ``capacity``
+        (``sum cap*(1-c)*c^d <= cap``).
+        """
+        if n_levels <= 1:
+            return self.capacity
+        top = max(int(np.ceil(self.capacity * (1.0 - self._DECAY))), 4)
+        budget = int(np.ceil(top * self._DECAY ** (n_levels - 1 - h)))
+        return max(budget, 2)
+
+    def _compact_level(self, h: int) -> None:
+        """Promote half of level ``h`` one level up, discarding the rest."""
+        buf = np.sort(self._levels[h], kind="stable")
+        parity = self._parity[h]
+        self._parity[h] = parity + 1
+        keep = buf[:0]
+        if buf.size % 2:
+            # odd buffer: hold one element back (alternating ends) so the
+            # promoted pairs cover the rest exactly — weight is conserved
+            if parity & 1:
+                keep, buf = buf[:1], buf[1:]
+            else:
+                keep, buf = buf[-1:], buf[:-1]
+        promoted = buf[(parity & 1) :: 2]
+        self._levels[h] = keep
+        if h + 1 == len(self._levels):
+            self._levels.append(np.empty(0, dtype=np.float64))
+            self._parity.append(0)
+        self._levels[h + 1] = np.concatenate([self._levels[h + 1], promoted])
+
+    def _compact(self) -> None:
+        """Lazy compaction sweep (the space-efficient KLL variant).
+
+        Nothing compacts while the total retained count fits in
+        ``capacity`` — the sketch stays as full (and as accurate) as the
+        budget allows.  Over capacity, the lowest over-budget level is
+        compacted first (cheap: its survivors carry the smallest weights);
+        if every level is individually within budget, the lowest level
+        holding at least a pair is compacted to restore the invariant.
+        """
+        while sum(len(level) for level in self._levels) > self.capacity:
+            n_levels = len(self._levels)
+            pick = None
+            for h in range(n_levels):
+                if len(self._levels[h]) > self._level_budget(h, n_levels):
+                    pick = h
+                    break
+            if pick is None:
+                for h, level in enumerate(self._levels):
+                    if len(level) >= 2:
+                        pick = h
+                        break
+            if pick is None:  # pragma: no cover - every level is a singleton
+                break
+            self._compact_level(pick)
+
+    def _weighted(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Retained values sorted ascending with their sample weights."""
+        values = np.concatenate(self._levels)
+        weights = np.concatenate(
+            [
+                np.full(level.size, 1 << h, dtype=np.int64)
+                for h, level in enumerate(self._levels)
+            ]
+        )
+        order = np.argsort(values, kind="stable")
+        return values[order], weights[order]
 
     # ------------------------------------------------------------------
     def quantile(self, percentile) -> np.ndarray:
         """Approximate percentile(s) of the accumulated samples (0..100).
 
-        Exact mode returns exactly ``np.percentile`` of the pooled samples.
+        Exact mode — and compressed mode before the first compaction —
+        returns exactly ``np.percentile`` of the pooled samples.  After
+        compaction the query interpolates the weighted CDF of the retained
+        values (each level-``h`` survivor counts ``2**h`` samples), with
+        the extremes pinned to the exact minimum/maximum.
         """
         if self.n == 0:
             raise ValueError("no samples observed")
-        return np.percentile(self._support, percentile)
+        if self.exact:
+            return np.percentile(self._support, percentile)
+        if len(self._levels) == 1:
+            # never compacted: every sample is retained at weight one
+            return np.percentile(self._levels[0], percentile)
+        q = np.asarray(percentile, dtype=np.float64)
+        if np.any((q < 0.0) | (q > 100.0)):
+            raise ValueError("percentiles must be in [0, 100]")
+        values, weights = self._weighted()
+        # each survivor stands for a block of `weight` consecutive ranks;
+        # anchor it at the block's midpoint rank and interpolate linearly,
+        # with the exact extremes pinned at ranks 0 and n-1
+        cum = np.cumsum(weights)
+        mids = cum - (weights + 1.0) / 2.0
+        ranks = np.concatenate([[-0.5], mids, [self.n - 0.5]])
+        anchors = np.concatenate([[self._min], values, [self._max]])
+        result = np.interp(q / 100.0 * (self.n - 1), ranks, anchors)
+        if q.ndim == 0:
+            return result[()]
+        return result
 
     @property
     def support(self) -> np.ndarray:
         """The retained (sorted in compressed mode) support values."""
-        return self._support
+        if self.exact:
+            return self._support
+        values = np.sort(np.concatenate(self._levels), kind="stable")
+        if values.size:
+            values[0] = min(float(values[0]), self._min)
+            values[-1] = max(float(values[-1]), self._max)
+        return values
 
     @property
     def minimum(self) -> float:
-        return float(self._support.min())
+        if self.exact:
+            return float(self._support.min())
+        if self.n == 0:
+            raise ValueError("no samples observed")
+        return float(self._min)
 
     @property
     def maximum(self) -> float:
-        return float(self._support.max())
+        if self.exact:
+            return float(self._support.max())
+        if self.n == 0:
+            raise ValueError("no samples observed")
+        return float(self._max)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "exact" if self.exact else f"capacity={self.capacity}"

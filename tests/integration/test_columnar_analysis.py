@@ -1,0 +1,174 @@
+"""Bit-identity matrix of the columnar analysis fast path.
+
+The fused columnar kernel must be indistinguishable from the per-shard
+streaming path: bit-identical products in exact mode and identical
+accumulator states in sketch mode — for any ``chunk_shards``, any worker
+count, and every producer (fused campaign execution, in-memory results,
+out-of-core store groups, and the generic per-shard fallback).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    ColumnarAnalyzer,
+    resolve_analyses,
+    run_analyses,
+    run_campaign_analyses,
+    run_columnar_analyses,
+)
+from repro.analysis.engine import _reduce_partials
+from repro.core.aggregation import ShardSlice
+from repro.experiments.backends import CampaignTensorBackend
+from repro.experiments.config import CampaignConfig
+from repro.experiments.executor import ShardExecutor
+from repro.experiments.session import CampaignResult, CampaignSession
+from repro.io.shard_store import ShardStore
+
+CONFIG = CampaignConfig(
+    application="minife",
+    trials=2,
+    processes=2,
+    iterations=10,
+    threads=8,
+    seed=5,
+    backend="campaign",
+)
+
+
+def _products(results):
+    """Canonical pickled product bytes per pass — byte-equality is the bar.
+
+    One pickle round-trip first: it normalises object-identity topology
+    (e.g. enum ``.value`` strings shared with dict keys in-process but not
+    after crossing a worker boundary) without touching a single value, so
+    the comparison stays bit-strict on every array byte and float while
+    ignoring memo-reference layout.
+    """
+    return {
+        name: pickle.dumps(pickle.loads(pickle.dumps(results[name])))
+        for name in results
+    }
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Per-shard streaming products for both accumulation modes."""
+    backend = CampaignTensorBackend()
+    out = {}
+    for exact in (True, False):
+        context = AnalysisContext.from_config(
+            CONFIG, exact=exact, metadata=backend.metadata(CONFIG)
+        )
+        results = run_analyses(backend.iter_shards(CONFIG), "all", context)
+        out[exact] = (_products(results), context)
+    return out
+
+
+class TestFusedCampaignMatrix:
+    @pytest.mark.parametrize("exact", [True, False], ids=["exact", "sketch"])
+    @pytest.mark.parametrize("chunk_shards", [1, 3, 8])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_per_shard_path(self, reference, workers, chunk_shards, exact):
+        ref, _ = reference[exact]
+        backend = CampaignTensorBackend(chunk_shards=chunk_shards)
+        results = run_campaign_analyses(
+            backend,
+            CONFIG.parallel(workers),
+            "all",
+            executor=ShardExecutor(mode="process"),
+            exact=exact,
+        )
+        assert _products(results) == ref
+
+
+class TestStoreBackedBlocks:
+    @pytest.mark.parametrize("exact", [True, False], ids=["exact", "sketch"])
+    def test_store_groups_match_per_shard_path(self, tmp_path, reference, exact):
+        ref, context = reference[exact]
+        backend = CampaignTensorBackend()
+        store = ShardStore.create(tmp_path / "c.store", spill_threshold_bytes=4096)
+        for shard in backend.iter_shards(CONFIG):
+            store.append(shard)
+        store.finalize()
+        reopened = ShardStore.open(tmp_path / "c.store")
+        assert reopened.n_groups > 1  # the reduction really crosses groups
+        results = run_columnar_analyses(
+            reopened.iter_column_blocks(), "all", context
+        )
+        assert _products(results) == ref
+
+    def test_group_columns_are_mmap_views(self, tmp_path):
+        backend = CampaignTensorBackend()
+        store = ShardStore.create(tmp_path / "c.store")
+        for shard in backend.iter_shards(CONFIG):
+            store.append(shard)
+        store.finalize()
+        blocks = list(ShardStore.open(tmp_path / "c.store").iter_column_blocks())
+        assert blocks
+        for columns, slices in blocks:
+            assert slices == sorted(slices, key=lambda sl: sl.sort_key)
+            assert slices[-1].stop == len(next(iter(columns.values())))
+            for array in columns.values():
+                assert isinstance(array, np.memmap)
+
+
+class TestInMemoryBlocks:
+    @pytest.mark.parametrize("exact", [True, False], ids=["exact", "sketch"])
+    def test_session_result_blocks_match_per_shard_path(self, reference, exact):
+        ref, context = reference[exact]
+        result = CampaignSession(CONFIG).run()
+        results = run_columnar_analyses(
+            result.iter_column_blocks(), "all", context
+        )
+        assert _products(results) == ref
+
+    def test_dataset_backed_blocks_use_identical_fallback(self):
+        """Dataset-derived shards (``process=None``, not block-shaped) must
+        take the generic per-shard fallback and still match exactly."""
+        dataset = CampaignSession(CONFIG).run().dataset
+        result = CampaignResult(CONFIG, dataset=dataset)
+        context = AnalysisContext.from_dataset(dataset)
+        ref = _products(run_analyses(result.iter_shards(), "all", context))
+        got = _products(
+            run_columnar_analyses(result.iter_column_blocks(), "all", context)
+        )
+        assert got == ref
+
+
+class TestShardOrderInvariance:
+    def test_exact_columnar_partials_merge_order_free(self, reference):
+        """Exact-mode scope: per-shard columnar partials reduced in reverse
+        shard order finalize to the same report (the segment keys carry the
+        serial order, so merge order cannot matter)."""
+        ref, context = reference[True]
+        backend = CampaignTensorBackend()
+        shards = list(backend.iter_shards(CONFIG))
+        columns = {
+            name: np.concatenate(
+                [np.asarray(shard.columns[name]) for shard in shards]
+            )
+            for name in shards[0].columns
+        }
+        slices = []
+        start = 0
+        for shard in shards:
+            slices.append(
+                ShardSlice(shard.trial, shard.process, start, start + shard.n_samples)
+            )
+            start += shard.n_samples
+        passes = resolve_analyses("all")
+        mapper = ColumnarAnalyzer(passes, context)
+        # partials are mutated by the reduction — map once per direction
+        forward = _reduce_partials(passes, iter(mapper(columns, slices)), context)
+        backward = _reduce_partials(
+            passes, reversed(mapper(columns, slices)), context
+        )
+        assert _products(forward) == ref
+        assert forward.report().as_dict() == backward.report().as_dict()
+        np.testing.assert_array_equal(
+            forward["percentiles"].values, backward["percentiles"].values
+        )

@@ -274,6 +274,26 @@ class TestHTTPFrontEnd:
                     shard_digest(s) for s in job.shards
                 ]
 
+                # finalized analysis products over HTTP: the payload is the
+                # streaming engine's own JSON view of the same campaign
+                status, body = await _http_request(
+                    host, port, "GET", f"/jobs/{job_id}/analyses"
+                )
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["job_id"] == job_id
+                assert payload["digest"] == expected
+                assert payload["analyses"] == expected_analyses
+                # second fetch is served from the per-job memo, identically
+                status, body = await _http_request(
+                    host, port, "GET", f"/jobs/{job_id}/analyses"
+                )
+                assert status == 200
+                assert json.loads(body) == payload
+
+        expected_analyses = json.loads(
+            json.dumps(CampaignSession(config).analyze(analyses="all").as_payload())
+        )
         asyncio.run(scenario())
 
     def test_http_error_paths(self):
@@ -292,5 +312,30 @@ class TestHTTPFrontEnd:
                 assert status == 405
                 status, _ = await _http_request(host, port, "GET", "/healthz")
                 assert status == 200
+
+        asyncio.run(scenario())
+
+    def test_analyses_endpoint_conflicts_on_cancelled_job(self, gated_backend):
+        """``GET /jobs/<id>/analyses`` on a non-``done`` terminal job is a
+        409, not a 500: there is no dataset to analyse."""
+        config = _gated_config()
+        gated_backend.reset(config)
+
+        async def scenario():
+            service = CampaignService(workers=1, executor_mode="thread")
+            async with CampaignHTTPServer(service, port=0) as server:
+                handle = await service.submit(config)
+                assert handle.cancel() is True
+                for gate in gated_backend.gates.values():
+                    gate.set()
+                await asyncio.wait_for(handle.job.wait(), timeout=10)
+                status, body = await _http_request(
+                    server.host, server.port,
+                    "GET", f"/jobs/{handle.job.id}/analyses",
+                )
+                assert status == 409
+                error = json.loads(body)
+                assert error["state"] == "cancelled"
+                assert "analyses need a completed job" in error["error"]
 
         asyncio.run(scenario())

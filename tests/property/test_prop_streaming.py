@@ -75,3 +75,78 @@ def test_compressed_sketch_brackets_the_true_range(samples):
     assert sketch.maximum == samples.max()
     median = float(sketch.quantile(50.0))
     assert samples.min() <= median <= samples.max()
+
+
+def _strided_reference_support(chunks, capacity):
+    """The pre-KLL strided compressor: merge-sort each chunk in, then keep
+    ``capacity`` evenly spaced order statistics of the sorted support."""
+    support = np.empty(0, dtype=np.float64)
+    for chunk in chunks:
+        support = np.sort(np.concatenate([support, chunk]))
+        if len(support) > capacity:
+            idx = np.round(
+                np.linspace(0, len(support) - 1, capacity)
+            ).astype(np.int64)
+            support = support[idx]
+    return support
+
+
+def _rank_errors(estimates, sorted_samples, quantiles):
+    ranks = np.searchsorted(sorted_samples, estimates) / len(sorted_samples)
+    return np.abs(ranks - np.asarray(quantiles) / 100.0)
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.sampled_from([128, 256, 1024]),
+    st.integers(7, 60),
+)
+@settings(max_examples=25, deadline=None)
+def test_kll_rank_error_no_worse_than_strided_compression(seed, capacity, n_chunks):
+    """The KLL compactor's satellite contract: bounded state and mean rank
+    error at or below the strided recompression it replaced (with a
+    ``2 / capacity`` floor so ties on easy streams cannot flake), plus an
+    absolute worst-case ceiling from the compaction schedule."""
+    rng = np.random.default_rng(seed)
+    samples = rng.lognormal(mean=0.0, sigma=0.7, size=20_000)
+    chunks = np.array_split(samples, n_chunks)
+
+    sketch = PercentileSketch(capacity)
+    for chunk in chunks:
+        sketch.update(chunk)
+    assert sketch.n == len(samples)
+    assert len(sketch.support) <= capacity
+
+    quantiles = np.linspace(1.0, 99.0, 40)
+    sorted_samples = np.sort(samples)
+    strided_errs = _rank_errors(
+        np.percentile(_strided_reference_support(chunks, capacity), quantiles),
+        sorted_samples,
+        quantiles,
+    )
+    bound = max(float(strided_errs.mean()), 2.0 / capacity)
+    for probe in (
+        sketch,
+        # mergeability: two half-stream sketches merged obey the same bound
+        _merged_halves(chunks, capacity),
+    ):
+        errs = _rank_errors(
+            np.asarray(probe.quantile(quantiles)), sorted_samples, quantiles
+        )
+        assert float(errs.mean()) <= bound
+        assert float(errs.max()) <= 8.0 / capacity
+        assert probe.n == len(samples)
+        assert len(probe.support) <= capacity
+        assert probe.minimum == samples.min()
+        assert probe.maximum == samples.max()
+
+
+def _merged_halves(chunks, capacity):
+    half = len(chunks) // 2 or 1
+    left = PercentileSketch(capacity)
+    right = PercentileSketch(capacity)
+    for chunk in chunks[:half]:
+        left.update(chunk)
+    for chunk in chunks[half:]:
+        right.update(chunk)
+    return left.merge(right)
